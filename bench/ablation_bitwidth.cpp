@@ -1,0 +1,96 @@
+// Ablation B (paper Section 4 motivation): dynamic vs static fixed point
+// across activation bit widths, post-training (no fine-tuning).
+//
+// The paper argues that a *uniform* (static) fixed-point format needs large
+// bit widths because ranges vary across layers — "even with 16-bit
+// fixed-point, significant accuracy drop is observed" — while *dynamic*
+// fixed point (per-layer radix) holds accuracy at 8 bits. This bench sweeps
+// both schemes; weights are power-of-two in all configurations.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mfdfp;
+
+/// Builds a *static* spec: one format, chosen to cover the worst-case range
+/// of all layers, applied everywhere.
+quant::QuantSpec make_static_spec(const quant::QuantSpec& dynamic_spec,
+                                  int bits) {
+  float global_max = 0.0f;
+  for (float m : dynamic_spec.layer_max_abs) {
+    global_max = std::max(global_max, m);
+  }
+  quant::QuantSpec spec = dynamic_spec;
+  const quant::DfpFormat uniform = quant::choose_format(global_max, bits);
+  spec.activation_bits = bits;
+  spec.input = quant::choose_format(1.0f, bits);
+  for (auto& format : spec.layer_output) format = uniform;
+  return spec;
+}
+
+quant::QuantSpec make_dynamic_spec(const quant::QuantSpec& base, int bits) {
+  quant::QuantSpec spec = base;
+  spec.activation_bits = bits;
+  spec.input = quant::choose_format(1.0f, bits);
+  for (std::size_t i = 0; i < spec.layer_output.size(); ++i) {
+    spec.layer_output[i] =
+        quant::choose_format(spec.layer_max_abs[i], bits);
+  }
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::BenchmarkSpec spec = bench::cifar_benchmark();
+  const data::DatasetPair ds = data::make_synthetic(spec.data);
+  nn::Network float_net = bench::train_float(spec, ds, 1);
+  const double float_top1 =
+      nn::evaluate(float_net, ds.test.images, ds.test.labels).top1;
+
+  // Range analysis once on the float network.
+  const tensor::Tensor calibration =
+      tensor::slice_outer(ds.train.images, 0, 128);
+  const quant::QuantSpec base =
+      quant::analyze_ranges(float_net, calibration, 8);
+
+  util::TablePrinter table(
+      "Ablation: post-training accuracy vs activation bits "
+      "(float top-1 " + util::fmt_percent(float_top1) + "%)");
+  table.set_header({"Bits", "Dynamic FP top-1 (%)", "Static FP top-1 (%)"});
+  util::CsvWriter csv({"bits", "dynamic_top1", "static_top1"});
+
+  for (int bits : {4, 5, 6, 8, 10, 12, 16}) {
+    double results[2] = {0.0, 0.0};
+    for (int variant = 0; variant < 2; ++variant) {
+      nn::Network net = float_net.clone();
+      const quant::QuantSpec qspec = variant == 0
+                                         ? make_dynamic_spec(base, bits)
+                                         : make_static_spec(base, bits);
+      quant::install_mf_dfp(net, qspec);
+      const tensor::Tensor qtest =
+          quant::quantize_input(qspec, ds.test.images);
+      results[variant] =
+          nn::evaluate(net, qtest, ds.test.labels).top1;
+    }
+    table.add_row({std::to_string(bits), util::fmt_percent(results[0]),
+                   util::fmt_percent(results[1])});
+    csv.add_row({static_cast<double>(bits), 100.0 * results[0],
+                 100.0 * results[1]});
+  }
+  table.print();
+  std::printf(
+      "\npaper claim shape: dynamic holds near-float accuracy at 8 bits; "
+      "static needs more bits\n(per-layer ranges differ), and no "
+      "fine-tuning is applied here so low-bit static collapses.\n");
+  if (csv.write_file("ablation_bitwidth.csv")) {
+    std::printf("wrote ablation_bitwidth.csv\n");
+  }
+  return 0;
+}

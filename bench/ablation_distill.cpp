@@ -1,0 +1,57 @@
+// Ablation C: sensitivity of Phase-2 student-teacher fine-tuning to the
+// temperature tau and weight beta (paper uses tau=20, beta=0.2), plus the
+// exact-vs-approximate (Eq. 2) gradient comparison.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mfdfp;
+  util::set_log_level(util::LogLevel::kWarn);
+
+  bench::BenchmarkSpec spec = bench::cifar_benchmark();
+  const data::DatasetPair ds = data::make_synthetic(spec.data);
+  const nn::Network float_net = bench::train_float(spec, ds, 1);
+
+  util::TablePrinter table("Ablation: Phase-2 tau/beta grid (final error)");
+  table.set_header({"tau", "beta=0.05", "beta=0.2", "beta=1.0"});
+  util::CsvWriter csv({"tau", "beta", "final_error"});
+
+  for (float tau : {1.0f, 5.0f, 20.0f}) {
+    std::vector<std::string> row{util::fmt_fixed(tau, 0)};
+    for (float beta : {0.05f, 0.2f, 1.0f}) {
+      core::ConverterConfig config = bench::converter_config(spec, 9);
+      config.tau = tau;
+      config.beta = beta;
+      core::MfDfpConverter converter(config);
+      const core::ConversionResult result =
+          converter.convert(float_net, ds.train, ds.test);
+      row.push_back(util::fmt_fixed(result.final_error, 4));
+      csv.add_row({static_cast<double>(tau), static_cast<double>(beta),
+                   result.final_error});
+    }
+    table.add_row(row);
+  }
+  table.print();
+
+  // Exact vs paper-Eq.-2 approximate gradient at the paper's setting.
+  util::TablePrinter grad("\nExact vs approximate (Eq. 2) soft gradient");
+  grad.set_header({"gradient", "final error"});
+  for (bool approx : {false, true}) {
+    core::ConverterConfig config = bench::converter_config(spec, 9);
+    config.approximate_distill_gradient = approx;
+    core::MfDfpConverter converter(config);
+    const core::ConversionResult result =
+        converter.convert(float_net, ds.train, ds.test);
+    grad.add_row({approx ? "approximate (Eq. 2)" : "exact",
+                  util::fmt_fixed(result.final_error, 4)});
+  }
+  grad.print();
+
+  if (csv.write_file("ablation_distill.csv")) {
+    std::printf("\nwrote ablation_distill.csv\n");
+  }
+  return 0;
+}

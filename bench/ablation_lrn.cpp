@@ -1,0 +1,106 @@
+// Ablation D (paper Section 6.1): "We remove all local response
+// normalization layers since they are not amenable to our multiplier-free
+// hardware implementation."
+//
+// This bench quantifies that design decision: it trains the ImageNet-style
+// network with and without LRN layers and compares float accuracy, then
+// demonstrates that the hardware mapper (extract_qnet) rejects the LRN
+// variant — the reason the paper removes them.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "hw/qnet.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/fully_connected.hpp"
+#include "nn/lrn.hpp"
+#include "nn/pooling.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mfdfp;
+
+/// alexnet_mini with optional LRN after the first two conv+relu blocks
+/// (AlexNet's placement).
+nn::Network build(const nn::ZooConfig& config, bool with_lrn,
+                  util::Rng& rng) {
+  const auto c1 = static_cast<std::size_t>(16 * config.width_multiplier);
+  const auto c2 = static_cast<std::size_t>(32 * config.width_multiplier);
+  nn::Network net;
+  net.add(std::make_unique<nn::Conv2D>(
+      nn::Conv2D::Config{config.in_channels, c1, 5, 1, 2}, rng));
+  net.add(std::make_unique<nn::ReLU>());
+  if (with_lrn) {
+    net.add(std::make_unique<nn::LocalResponseNorm>(
+        nn::LocalResponseNorm::Config{5, 1e-4f, 0.75f, 2.0f}));
+  }
+  net.add(std::make_unique<nn::MaxPool2D>(nn::PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<nn::Conv2D>(nn::Conv2D::Config{c1, c2, 5, 1, 2},
+                                       rng));
+  net.add(std::make_unique<nn::ReLU>());
+  if (with_lrn) {
+    net.add(std::make_unique<nn::LocalResponseNorm>(
+        nn::LocalResponseNorm::Config{5, 1e-4f, 0.75f, 2.0f}));
+  }
+  net.add(std::make_unique<nn::MaxPool2D>(nn::PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<nn::Flatten>());
+  const tensor::Shape out = net.output_shape(
+      tensor::Shape{1, config.in_channels, config.in_h, config.in_w});
+  net.add(std::make_unique<nn::FullyConnected>(
+      nn::FullyConnected::Config{out.dim(1), config.num_classes}, rng));
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::BenchmarkSpec spec = bench::imagenet_benchmark();
+  spec.width = 0.5f;
+  const data::DatasetPair ds = data::make_synthetic(spec.data);
+  const nn::ZooConfig zoo = bench::zoo_config(spec);
+
+  util::TablePrinter table("Ablation: LRN removal (paper Section 6.1)");
+  table.set_header({"Variant", "Float top-1 (%)", "HW-mappable"});
+
+  double top1_without = 0.0, top1_with = 0.0;
+  for (bool with_lrn : {false, true}) {
+    util::Rng rng{31};
+    nn::Network net = build(zoo, with_lrn, rng);
+    core::FloatTrainConfig config;
+    config.max_epochs = bench::quick_mode() ? 4 : 15;
+    config.seed = 31;
+    core::train_float_network(net, ds.train, ds.test, config);
+    const double top1 =
+        nn::evaluate(net, ds.test.images, ds.test.labels).top1;
+
+    // Mappability: extraction must succeed without LRN and throw with it.
+    bool mappable = true;
+    try {
+      const tensor::Tensor calibration =
+          tensor::slice_outer(ds.train.images, 0, 32);
+      nn::Network probe = net.clone();
+      const quant::QuantSpec qspec =
+          quant::quantize_network(probe, calibration);
+      (void)hw::extract_qnet(probe, qspec);
+    } catch (const std::invalid_argument&) {
+      mappable = false;
+    }
+    (with_lrn ? top1_with : top1_without) = top1;
+    table.add_row({with_lrn ? "with LRN" : "LRN removed (paper)",
+                   util::fmt_percent(top1), mappable ? "yes" : "NO (lrn)"});
+  }
+  table.print();
+  std::printf(
+      "\nmappability constraint reproduced: the LRN variant cannot be "
+      "mapped onto the\nmultiplier-free datapath (extract_qnet rejects it), "
+      "which is why the paper removes it.\nAccuracy cost of removal on this "
+      "task: %+.2f pts (the paper reports a negligible cost\non its "
+      "benchmarks; on this small synthetic task cross-channel "
+      "normalization %s).\n",
+      100.0 * (top1_without - top1_with),
+      top1_with > top1_without + 0.005 ? "does help" : "is not needed");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation E: off-chip (DMA) traffic and required bandwidth, FP32 baseline
+// vs MF-DFP, on the paper-scale workloads — the bandwidth-side view of the
+// paper's "8x less memory" claim (Section 6.2) and of the three-buffer
+// memory subsystem of Fig. 2b. Also sweeps the weight-buffer capacity to
+// show when weight re-fetch kicks in.
+#include <cstdio>
+
+#include "hw/traffic_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mfdfp;
+
+  const auto workloads = {
+      std::pair{"cuda-convnet CIFAR-10", hw::paper_cifar10_workload()},
+      std::pair{"AlexNet ImageNet", hw::paper_imagenet_workload()},
+  };
+
+  for (const auto& [name, work] : workloads) {
+    const hw::AcceleratorConfig fp = hw::float_baseline_config();
+    const hw::AcceleratorConfig mf = hw::mfdfp_config(1);
+    const hw::TrafficReport traffic_fp = hw::dma_traffic(work, fp);
+    const hw::TrafficReport traffic_mf = hw::dma_traffic(work, mf);
+    const double t_fp = hw::count_cycles(work, fp).seconds(fp);
+    const double t_mf = hw::count_cycles(work, mf).seconds(mf);
+
+    util::TablePrinter table(std::string("DMA traffic per inference: ") +
+                             name);
+    table.set_header({"Design", "Total (KB)", "Input (KB)", "Weights (KB)",
+                      "Output (KB)", "BW needed (GB/s)"});
+    auto add = [&](const char* label, const hw::TrafficReport& r,
+                   double seconds) {
+      double in = 0, w = 0, out = 0;
+      for (const auto& layer : r.layers) {
+        in += static_cast<double>(layer.input_bytes);
+        w += static_cast<double>(layer.weight_bytes);
+        out += static_cast<double>(layer.output_bytes);
+      }
+      table.add_row({label,
+                     util::fmt_fixed(r.total_bytes / 1024.0, 1),
+                     util::fmt_fixed(in / 1024.0, 1),
+                     util::fmt_fixed(w / 1024.0, 1),
+                     util::fmt_fixed(out / 1024.0, 1),
+                     util::fmt_fixed(r.required_bandwidth_gbps(seconds),
+                                     2)});
+    };
+    add("Float(32,32)", traffic_fp, t_fp);
+    add("MF-DFP(8,4)", traffic_mf, t_mf);
+    table.print();
+    std::printf("traffic ratio: x%.2f less data moved\n\n",
+                static_cast<double>(traffic_fp.total_bytes) /
+                    static_cast<double>(traffic_mf.total_bytes));
+  }
+
+  // Weight-buffer sweep: when does the working set stop fitting?
+  util::TablePrinter sweep(
+      "Weight-buffer capacity sweep (AlexNet, MF-DFP, weight KB streamed)");
+  sweep.set_header({"Buffer entries", "Weight traffic (KB)", "Refetch max"});
+  const auto work = hw::paper_imagenet_workload();
+  for (std::size_t entries : {2048, 8192, 16384, 65536, 262144}) {
+    hw::AcceleratorConfig config = hw::mfdfp_config(1);
+    config.weight_buffer_entries = entries;
+    const hw::TrafficReport report = hw::dma_traffic(work, config);
+    double weight_kb = 0;
+    std::uint64_t max_refetch = 0;
+    for (const auto& layer : report.layers) {
+      weight_kb += static_cast<double>(layer.weight_bytes) / 1024.0;
+      max_refetch = std::max(max_refetch, layer.weight_refetches);
+    }
+    sweep.add_row({std::to_string(entries), util::fmt_fixed(weight_kb, 1),
+                   std::to_string(max_refetch)});
+  }
+  sweep.print();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces paper Figure 3: validation top-1 error rate over fine-tuning
+// epochs for (a) the quantized network trained with data labels only,
+// (b) the quantized network with student-teacher learning in Phase 2, and
+// (c) the floating-point reference line — on the ImageNet-like benchmark.
+//
+// Expected shape (as in the paper): both curves drop quickly in Phase 1;
+// after the Phase-2 branch point the student-teacher curve tracks at or
+// below the labels-only curve, both ending within ~1 point of the float
+// line. The curve is written to fig3_curve.csv for plotting.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mfdfp;
+
+void print_ascii_curve(const char* name, const std::vector<float>& curve,
+                       float lo, float hi) {
+  std::printf("%-16s", name);
+  for (float e : curve) {
+    const int level =
+        static_cast<int>(8.99f * (e - lo) / std::max(hi - lo, 1e-6f));
+    const char* blocks[] = {"_", "1", "2", "3", "4", "5", "6", "7", "8"};
+    std::printf("%s", blocks[std::clamp(level, 0, 8)]);
+  }
+  std::printf("   (start %.3f end %.3f)\n", curve.front(), curve.back());
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  bench::BenchmarkSpec spec = bench::imagenet_benchmark();
+  // Figure 3 needs long-enough curves to show the Phase-1 -> Phase-2
+  // handoff clearly.
+  if (!bench::quick_mode()) {
+    spec.phase1_epochs = 8;
+    spec.phase2_epochs = 8;
+  }
+  const data::DatasetPair ds = data::make_synthetic(spec.data);
+  const nn::Network float_net = bench::train_float(spec, ds, 1);
+
+  // (a) labels only: Phase 1 continued for the full budget.
+  core::MfDfpConverter labels_converter(bench::converter_config(spec, 21));
+  const core::ConversionResult labels_only =
+      labels_converter.convert_labels_only(float_net, ds.train, ds.test);
+
+  // (b) student-teacher: Phase 1 then Phase 2 (paper: branch from a
+  // near-convergence, non-optimal point; tau=20, beta=0.2).
+  core::MfDfpConverter st_converter(bench::converter_config(spec, 21));
+  const core::ConversionResult student_teacher =
+      st_converter.convert(float_net, ds.train, ds.test);
+
+  // Assemble aligned curves.
+  std::vector<float> curve_labels = labels_only.curves.phase1_error;
+  std::vector<float> curve_st = student_teacher.curves.phase1_error;
+  curve_st.insert(curve_st.end(),
+                  student_teacher.curves.phase2_error.begin(),
+                  student_teacher.curves.phase2_error.end());
+  const float float_error = student_teacher.curves.float_error;
+  const std::size_t phase2_start =
+      student_teacher.curves.phase1_error.size();
+
+  util::CsvWriter csv({"epoch", "labels_only_error", "student_teacher_error",
+                       "float_error", "phase"});
+  const std::size_t epochs = std::min(curve_labels.size(), curve_st.size());
+  float lo = float_error, hi = float_error;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    lo = std::min({lo, curve_labels[e], curve_st[e]});
+    hi = std::max({hi, curve_labels[e], curve_st[e]});
+    csv.add_row({std::to_string(e), util::fmt_fixed(curve_labels[e], 5),
+                 util::fmt_fixed(curve_st[e], 5),
+                 util::fmt_fixed(float_error, 5),
+                 e < phase2_start ? "1" : "2"});
+  }
+
+  std::printf("Figure 3: validation top-1 error vs fine-tuning epoch "
+              "(%s)\n\n", spec.name.c_str());
+  print_ascii_curve("labels-only", curve_labels, lo, hi);
+  print_ascii_curve("student-teacher", curve_st, lo, hi);
+  std::printf("%-16s%s\n", "phase boundary",
+              (std::string(phase2_start, ' ') + "^phase2").c_str());
+  std::printf("\nfloat reference error: %.4f\n", float_error);
+  std::printf("labels-only final:     %.4f\n", curve_labels.back());
+  std::printf("student-teacher final: %.4f\n", curve_st.back());
+
+  util::TablePrinter summary("\nFigure 3 summary");
+  summary.set_header({"curve", "final error", "gap to float (pts)"});
+  summary.add_row({"floating-point", util::fmt_fixed(float_error, 4), "0"});
+  summary.add_row({"labels only", util::fmt_fixed(curve_labels.back(), 4),
+                   util::fmt_fixed(100.0 * (curve_labels.back() -
+                                            float_error), 2)});
+  summary.add_row({"student-teacher", util::fmt_fixed(curve_st.back(), 4),
+                   util::fmt_fixed(100.0 * (curve_st.back() - float_error),
+                                   2)});
+  summary.print();
+
+  if (csv.write_file("fig3_curve.csv")) {
+    std::printf("\nwrote fig3_curve.csv\n");
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Micro-benchmarks (google-benchmark) of the neuron datapath models and the
+// quantization codecs. These measure the *simulator*, not silicon — their
+// role is to document the relative cost of the bit-accurate shift datapath
+// vs the float reference path, and to keep codec hot paths fast.
+#include <benchmark/benchmark.h>
+
+#include "hw/datapath.hpp"
+#include "hw/executor.hpp"
+#include "quant/dfp.hpp"
+#include "quant/pow2.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mfdfp;
+
+void BM_ShiftNeuronTile(benchmark::State& state) {
+  util::Rng rng{1};
+  std::vector<std::int8_t> inputs(16);
+  std::vector<quant::Pow2Weight> weights(16);
+  for (int i = 0; i < 16; ++i) {
+    inputs[i] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    weights[i] = quant::Pow2Weight{
+        rng.bernoulli(0.5), static_cast<int>(rng.uniform_int(-7, 0))};
+  }
+  std::int64_t products[16];
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      products[i] = hw::synapse_product(inputs[i], weights[i]);
+    }
+    benchmark::DoNotOptimize(hw::adder_tree({products, 16}));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_ShiftNeuronTile);
+
+void BM_FloatNeuronTile(benchmark::State& state) {
+  util::Rng rng{2};
+  std::vector<float> inputs(16), weights(16);
+  for (int i = 0; i < 16; ++i) {
+    inputs[i] = rng.uniform_f(-1.0f, 1.0f);
+    weights[i] = rng.uniform_f(-1.0f, 1.0f);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::float_neuron(inputs, weights, 0.1f));
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_FloatNeuronTile);
+
+void BM_AccumulateAndRoute(benchmark::State& state) {
+  for (auto _ : state) {
+    hw::AccumulatorRouting acc(7, 4, 12);
+    for (int t = 0; t < 8; ++t) acc.accumulate(1000 * t - 3500);
+    benchmark::DoNotOptimize(acc.route());
+  }
+}
+BENCHMARK(BM_AccumulateAndRoute);
+
+void BM_DfpEncodeTensor(benchmark::State& state) {
+  util::Rng rng{3};
+  tensor::Tensor src{tensor::Shape{1024}};
+  src.fill_normal(rng, 0.0f, 2.0f);
+  tensor::Tensor dst{src.shape()};
+  const quant::DfpFormat format{8, 4};
+  for (auto _ : state) {
+    quant::quantize_tensor(format, src, dst);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_DfpEncodeTensor);
+
+void BM_Pow2QuantizeTensor(benchmark::State& state) {
+  util::Rng rng{4};
+  tensor::Tensor src{tensor::Shape{1024}};
+  src.fill_normal(rng, 0.0f, 0.3f);
+  tensor::Tensor dst{src.shape()};
+  for (auto _ : state) {
+    quant::quantize_tensor_pow2(src, dst);
+    benchmark::DoNotOptimize(dst.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Pow2QuantizeTensor);
+
+void BM_PackUnpackPow2(benchmark::State& state) {
+  util::Rng rng{5};
+  tensor::Tensor weights{tensor::Shape{4096}};
+  weights.fill_normal(rng, 0.0f, 0.3f);
+  for (auto _ : state) {
+    const auto packed = quant::pack_pow2(weights);
+    benchmark::DoNotOptimize(quant::unpack_pow2(packed, 4096));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PackUnpackPow2);
+
+void BM_CodeTensorEncode(benchmark::State& state) {
+  util::Rng rng{6};
+  tensor::Tensor values{tensor::Shape{1, 3, 16, 16}};
+  values.fill_uniform(rng, -1.0f, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hw::CodeTensor::encode(values, 7));
+  }
+}
+BENCHMARK(BM_CodeTensorEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+// Reproduces paper Table 2: classification accuracy, inference time, energy
+// and energy saving for the floating-point design, a single MF-DFP network,
+// and an ensemble of two MF-DFP networks, on both benchmarks.
+//
+// Absolute accuracies come from our synthetic datasets (see DESIGN.md
+// substitutions); the *shape* reproduces the paper:
+//   - MF-DFP within ~1 point of float accuracy,
+//   - ensemble >= float accuracy,
+//   - times nearly identical, energy savings ~90 % / ~80 %.
+// Times/energies are also cross-checked against the paper's actual network
+// workloads (cuda-convnet CIFAR-10, AlexNet), where our cycle model must
+// land near 246 us / 15666 us.
+//
+// Paper reference rows:
+//   CIFAR-10 : 81.53 / 80.77 / 82.61 %, 246.52/246.27/246.27 us,
+//              335.68 / 34.22 / 66.56 uJ, 0 / 89.81 / 80.17 %
+//   ImageNet : 56.95 / 56.16 / 57.57 top-1, 15666 us scale,
+//              21332 / 2177 / 4234 uJ, 0 / 89.80 / 80.15 %
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mfdfp;
+
+struct DesignRow {
+  std::string precision;
+  double top1 = 0.0, top5 = 0.0;
+  double time_us = 0.0, energy_uj = 0.0, saving_pct = 0.0;
+};
+
+void run_benchmark(const bench::BenchmarkSpec& spec, util::CsvWriter& csv) {
+  util::Stopwatch watch;
+  std::printf("== %s ==\n", spec.name.c_str());
+  const data::DatasetPair ds = data::make_synthetic(spec.data);
+
+  // Float baseline + two independently trained nets for the ensemble.
+  nn::Network float_net = bench::train_float(spec, ds, 1);
+  const nn::EvalResult float_eval =
+      nn::evaluate(float_net, ds.test.images, ds.test.labels);
+
+  core::MfDfpConverter converter(bench::converter_config(spec, 7));
+  core::ConversionResult single =
+      converter.convert(float_net, ds.train, ds.test);
+  const tensor::Tensor qtest =
+      quant::quantize_input(single.spec, ds.test.images);
+  const nn::EvalResult mf_eval =
+      nn::evaluate(single.network, qtest, ds.test.labels);
+
+  // Ensemble member 2 from a different starting float net (Phase 3).
+  nn::Network float_net2 = bench::train_float(spec, ds, 2);
+  core::MfDfpConverter converter2(bench::converter_config(spec, 8));
+  core::ConversionResult member2 =
+      converter2.convert(float_net2, ds.train, ds.test);
+  std::vector<nn::Network*> members{&single.network, &member2.network};
+  const nn::EvalResult ens_eval =
+      nn::evaluate_ensemble(members, qtest, ds.test.labels);
+
+  // Bit-exactness spot check of the deployment path on a test sample.
+  const hw::QNetDesc qnet = hw::extract_qnet(single.network, single.spec);
+  const hw::AcceleratorExecutor executor(qnet);
+  const tensor::Tensor sample = tensor::slice_outer(ds.test.images, 0, 32);
+  const float hw_diff = tensor::max_abs_diff(
+      executor.run(sample),
+      single.network.forward(quant::quantize_input(single.spec, sample),
+                             nn::Mode::kEval));
+
+  // Hardware latency/energy from the cycle + cost models.
+  const auto work = hw::workload_from_qnet(qnet, spec.data.channels,
+                                           spec.data.height, spec.data.width);
+  const hw::AcceleratorConfig fp_cfg = hw::float_baseline_config();
+  const hw::AcceleratorConfig mf_cfg = hw::mfdfp_config(1);
+  const hw::AcceleratorConfig ens_cfg = hw::mfdfp_config(2);
+  const hw::CycleReport fp_cycles = hw::count_cycles(work, fp_cfg);
+  const hw::CycleReport mf_cycles = hw::count_cycles(work, mf_cfg);
+  // Ensemble: one member per PU, concurrent -> single-network latency.
+  const hw::CycleReport ens_cycles = mf_cycles;
+
+  const double e_fp = hw::energy_uj(fp_cycles, fp_cfg);
+  const double e_mf = hw::energy_uj(mf_cycles, mf_cfg);
+  const double e_ens = hw::energy_uj(ens_cycles, ens_cfg);
+
+  std::vector<DesignRow> rows{
+      {"Floating-Point (32,32)", float_eval.top1, float_eval.top5,
+       fp_cycles.microseconds(fp_cfg), e_fp, 0.0},
+      {"MF-DFP (8,4)", mf_eval.top1, mf_eval.top5,
+       mf_cycles.microseconds(mf_cfg), e_mf, 100.0 * hw::saving(e_fp, e_mf)},
+      {"Ensemble MF-DFP", ens_eval.top1, ens_eval.top5,
+       ens_cycles.microseconds(ens_cfg), e_ens,
+       100.0 * hw::saving(e_fp, e_ens)},
+  };
+
+  util::TablePrinter table("Table 2 (" + spec.name + ")");
+  table.set_header({"Precision", "Accuracy (%)", "Time (us)", "Energy (uJ)",
+                    "Energy Saving (%)"});
+  for (const DesignRow& row : rows) {
+    const std::string acc =
+        util::fmt_fixed(100.0 * row.top1, 2) +
+        (spec.alexnet ? " (" + util::fmt_fixed(100.0 * row.top5, 2) + ")"
+                      : "");
+    table.add_row({row.precision, acc, util::fmt_fixed(row.time_us, 2),
+                   util::fmt_fixed(row.energy_uj, 2),
+                   util::fmt_fixed(row.saving_pct, 2)});
+    csv.add_row({spec.name, row.precision,
+                 util::fmt_fixed(100.0 * row.top1, 3),
+                 util::fmt_fixed(100.0 * row.top5, 3),
+                 util::fmt_fixed(row.time_us, 3),
+                 util::fmt_fixed(row.energy_uj, 3),
+                 util::fmt_fixed(row.saving_pct, 3)});
+  }
+  table.print();
+  std::printf(
+      "accelerator-vs-software logit max|diff| on 32 images: %g (bit-exact "
+      "expected)\n",
+      hw_diff);
+  std::printf("wall-clock for this benchmark: %.1fs\n\n", watch.seconds());
+}
+
+void paper_scale_cross_check() {
+  std::printf("== Paper-scale workload cross-check (absolute times) ==\n");
+  util::TablePrinter table("");
+  table.set_header({"Workload", "Time (us)", "Paper (us)", "Energy FP (uJ)",
+                    "Energy MF (uJ)", "Saving (%)"});
+  const hw::AcceleratorConfig fp_cfg = hw::float_baseline_config();
+  const hw::AcceleratorConfig mf_cfg = hw::mfdfp_config(1);
+  struct Case {
+    const char* name;
+    std::vector<hw::LayerWork> work;
+    double paper_us;
+  };
+  const std::vector<Case> cases{
+      {"cuda-convnet CIFAR-10", hw::paper_cifar10_workload(), 246.27},
+      {"AlexNet ImageNet", hw::paper_imagenet_workload(), 15666.06},
+  };
+  for (const Case& c : cases) {
+    const hw::CycleReport mf = hw::count_cycles(c.work, mf_cfg);
+    const hw::CycleReport fp = hw::count_cycles(c.work, fp_cfg);
+    const double e_fp = hw::energy_uj(fp, fp_cfg);
+    const double e_mf = hw::energy_uj(mf, mf_cfg);
+    table.add_row({c.name, util::fmt_fixed(mf.microseconds(mf_cfg), 2),
+                   util::fmt_fixed(c.paper_us, 2),
+                   util::fmt_fixed(e_fp, 2), util::fmt_fixed(e_mf, 2),
+                   util::fmt_percent(hw::saving(e_fp, e_mf))});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+  util::CsvWriter csv({"benchmark", "precision", "top1", "top5", "time_us",
+                       "energy_uj", "saving_pct"});
+  run_benchmark(bench::cifar_benchmark(), csv);
+  run_benchmark(bench::imagenet_benchmark(), csv);
+  paper_scale_cross_check();
+  if (csv.write_file("table2_results.csv")) {
+    std::printf("\nwrote table2_results.csv\n");
+  }
+  return 0;
+}

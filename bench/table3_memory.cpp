@@ -1,0 +1,95 @@
+// Reproduces paper Table 3: parameter-memory requirements of floating-point
+// vs MF-DFP vs ensemble MF-DFP networks.
+//
+// Two views:
+//  1. the paper's actual architectures (cuda-convnet CIFAR-10 and AlexNet),
+//     counted analytically — reproducing the paper's absolute megabytes;
+//  2. the reduced-scale synthetic-benchmark networks actually trained here.
+//
+// Paper reference: CIFAR-10 0.3417 / 0.0428 / 0.0855 MB;
+//                  ImageNet 237.95 / 29.75 / 59.50 MB.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "quant/memory.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mfdfp;
+
+struct ParamCount {
+  std::size_t weights = 0;
+  std::size_t biases = 0;
+};
+
+/// Conv/fc parameter counts of the paper's CIFAR-10 network (cuda-convnet).
+ParamCount paper_cifar_params() {
+  ParamCount p;
+  p.weights = 32 * 3 * 25 + 32 * 32 * 25 + 64 * 32 * 25 + 10 * 64 * 4 * 4;
+  p.biases = 32 + 32 + 64 + 10;
+  return p;
+}
+
+/// AlexNet (no grouping, LRN removed) parameter counts.
+ParamCount paper_alexnet_params() {
+  ParamCount p;
+  p.weights = 96ULL * 3 * 121 + 256ULL * 96 * 25 + 384ULL * 256 * 9 +
+              384ULL * 384 * 9 + 256ULL * 384 * 9 + 4096ULL * 256 * 36 +
+              4096ULL * 4096 + 1000ULL * 4096;
+  p.biases = 96 + 256 + 384 + 384 + 256 + 4096 + 4096 + 1000;
+  return p;
+}
+
+double float_mb(const ParamCount& p) {
+  return 4.0 * static_cast<double>(p.weights + p.biases) / (1024.0 * 1024.0);
+}
+
+double mfdfp_mb(const ParamCount& p) {
+  return (0.5 * static_cast<double>(p.weights) +
+          static_cast<double>(p.biases)) /
+         (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main() {
+  util::set_log_level(util::LogLevel::kWarn);
+
+  util::TablePrinter paper(
+      "Table 3 (paper-scale architectures, analytic count)");
+  paper.set_header({"Precision", "CIFAR-10 (MB)", "ImageNet (MB)"});
+  const ParamCount cifar = paper_cifar_params();
+  const ParamCount alexnet = paper_alexnet_params();
+  paper.add_row({"Floating-Point", util::fmt_fixed(float_mb(cifar), 4),
+                 util::fmt_fixed(float_mb(alexnet), 2)});
+  paper.add_row({"MF-DFP", util::fmt_fixed(mfdfp_mb(cifar), 4),
+                 util::fmt_fixed(mfdfp_mb(alexnet), 2)});
+  paper.add_row({"Ensemble MF-DFP", util::fmt_fixed(2 * mfdfp_mb(cifar), 4),
+                 util::fmt_fixed(2 * mfdfp_mb(alexnet), 2)});
+  paper.print();
+  std::printf(
+      "paper reference:  0.3417 / 0.0428 / 0.0855 and 237.95 / 29.75 / "
+      "59.50 MB\n\n");
+
+  // Reduced-scale networks actually used by the synthetic benchmarks.
+  util::TablePrinter ours("Table 3 (this repo's benchmark networks)");
+  ours.set_header({"Precision", "CIFAR-like (MB)", "ImageNet-like (MB)"});
+  util::Rng rng{1};
+  nn::Network cifar_net =
+      bench::make_net(bench::cifar_benchmark(), rng);
+  nn::Network imagenet_net =
+      bench::make_net(bench::imagenet_benchmark(), rng);
+  const quant::MemoryReport mc = quant::memory_report(cifar_net);
+  const quant::MemoryReport mi = quant::memory_report(imagenet_net);
+  ours.add_row({"Floating-Point", util::fmt_fixed(mc.float_mb(), 4),
+                util::fmt_fixed(mi.float_mb(), 4)});
+  ours.add_row({"MF-DFP", util::fmt_fixed(mc.mfdfp_mb(), 4),
+                util::fmt_fixed(mi.mfdfp_mb(), 4)});
+  ours.add_row({"Ensemble MF-DFP", util::fmt_fixed(2 * mc.mfdfp_mb(), 4),
+                util::fmt_fixed(2 * mi.mfdfp_mb(), 4)});
+  ours.print();
+  std::printf("compression: x%.2f (CIFAR-like), x%.2f (ImageNet-like)\n",
+              mc.compression(), mi.compression());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Domain example 3: architectural exploration of the accelerator with the
+// cost + cycle models (the design-space sweep the paper declares out of
+// scope in Section 5 — "altering number of hardware neurons and synapses" —
+// which the block-level model makes cheap to explore).
+//
+// Sweeps processing-unit count and synapse width for both precisions on the
+// paper-scale workloads, reporting area, power, latency, energy, and an
+// energy-delay product, so a designer can pick an operating point.
+#include <cstdio>
+
+#include "hw/cycle_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mfdfp;
+
+  const auto workloads = {
+      std::pair{"cuda-convnet CIFAR-10", hw::paper_cifar10_workload()},
+      std::pair{"AlexNet ImageNet", hw::paper_imagenet_workload()},
+  };
+
+  for (const auto& [name, work] : workloads) {
+    util::TablePrinter table(std::string("Design space: ") + name);
+    table.set_header({"Design", "Area (mm2)", "Power (mW)", "Time (us)",
+                      "Energy (uJ)", "EDP (uJ*ms)"});
+
+    auto add = [&](const std::string& label,
+                   const hw::AcceleratorConfig& config) {
+      const hw::CostBreakdown cost = hw::cost_model(config);
+      const hw::CycleReport cycles = hw::count_cycles(work, config);
+      const double time_us = cycles.microseconds(config);
+      const double energy = hw::energy_uj(cycles, config);
+      table.add_row({label, util::fmt_fixed(cost.total_area_mm2(), 2),
+                     util::fmt_fixed(cost.total_power_mw(), 2),
+                     util::fmt_fixed(time_us, 2),
+                     util::fmt_fixed(energy, 2),
+                     util::fmt_fixed(energy * time_us / 1000.0, 3)});
+    };
+
+    add("FP32 16n/16s", hw::float_baseline_config());
+    for (std::size_t pus : {1, 2, 4}) {
+      add("MF-DFP x" + std::to_string(pus) + "PU", hw::mfdfp_config(pus));
+    }
+    // Wider datapath variants: more synapses per neuron shorten conv layers
+    // with large patches but inflate the adder tree and buffers.
+    for (std::size_t synapses : {32, 64}) {
+      hw::AcceleratorConfig wide = hw::mfdfp_config(1);
+      wide.synapses_per_neuron = synapses;
+      wide.weight_buffer_entries *= synapses / 16;
+      wide.input_buffer_entries *= synapses / 16;
+      add("MF-DFP 16n/" + std::to_string(synapses) + "s", wide);
+    }
+    // More neurons: parallel output channels.
+    hw::AcceleratorConfig tall = hw::mfdfp_config(1);
+    tall.neurons_per_pu = 32;
+    tall.output_buffer_entries *= 2;
+    add("MF-DFP 32n/16s", tall);
+
+    table.print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "notes: FP32 row = paper baseline; MF-DFP x1 = paper design; larger "
+      "PU counts model\nensembles (throughput), wider rows trade adder-tree "
+      "area against fewer tiles per output.\nEDP = energy-delay product "
+      "(lower is better for balanced designs).\n");
+  return 0;
+}

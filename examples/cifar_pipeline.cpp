@@ -1,0 +1,127 @@
+// Domain example 1: the full CIFAR-10 codesign pipeline, end to end.
+//
+// Mirrors the paper's Section 6 flow on the CIFAR benchmark:
+//   float training -> range analysis -> Algorithm 1 (Phase 1 + Phase 2)
+//   -> deployment image -> bit-accurate accelerator run -> hardware report.
+//
+// If the real CIFAR-10 binary batches are available (pass the directory as
+// argv[1], e.g. ./cifar_pipeline /data/cifar-10-batches-bin), they are used;
+// otherwise the synthetic CIFAR-like dataset stands in (see DESIGN.md).
+// Artifacts: cifar_float.weights, cifar_mfdfp.weights, cifar_curves.csv.
+#include <cstdio>
+
+#include "core/converter.hpp"
+#include "data/cifar10_loader.hpp"
+#include "data/synthetic.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/executor.hpp"
+#include "hw/qnet_io.hpp"
+#include "nn/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "nn/zoo.hpp"
+#include "quant/memory.hpp"
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfdfp;
+
+  // ---------------------------------------------------------------- data
+  data::DatasetPair dataset;
+  std::size_t in_h = 16, in_w = 16;
+  if (argc > 1) {
+    if (auto real = data::load_cifar10(argv[1])) {
+      dataset = std::move(*real);
+      in_h = in_w = 32;
+      std::printf("using real CIFAR-10 from %s (%zu train / %zu test)\n",
+                  argv[1], dataset.train.size(), dataset.test.size());
+    } else {
+      std::printf("CIFAR-10 not found under %s; using synthetic data\n",
+                  argv[1]);
+    }
+  }
+  if (dataset.train.size() == 0) {
+    dataset = data::make_synthetic(data::cifar_like_spec());
+    std::printf("synthetic CIFAR-like dataset: %zu train / %zu test\n",
+                dataset.train.size(), dataset.test.size());
+  }
+
+  // ------------------------------------------------------ float baseline
+  util::Rng rng{42};
+  nn::ZooConfig zoo;
+  zoo.in_channels = 3;
+  zoo.in_h = in_h;
+  zoo.in_w = in_w;
+  zoo.num_classes = dataset.train.num_classes;
+  zoo.width_multiplier = 0.5f;
+  nn::Network float_net = nn::make_cifar10_net(zoo, rng);
+
+  core::FloatTrainConfig train_config;
+  train_config.max_epochs = 12;
+  train_config.verbose = true;
+  core::train_float_network(float_net, dataset.train, dataset.test,
+                            train_config);
+  nn::save_weights(float_net, "cifar_float.weights");
+  const nn::EvalResult float_eval =
+      nn::evaluate(float_net, dataset.test.images, dataset.test.labels);
+  std::printf("\nfloat baseline: top-1 %.2f%%\n", 100.0 * float_eval.top1);
+
+  // --------------------------------------------- Algorithm 1 conversion
+  core::ConverterConfig config;
+  config.phase1_epochs = 6;
+  config.phase2_epochs = 4;
+  config.verbose = true;
+  core::MfDfpConverter converter(config);
+  core::ConversionResult converted =
+      converter.convert(float_net, dataset.train, dataset.test);
+  nn::save_weights(converted.network, "cifar_mfdfp.weights");
+
+  util::CsvWriter curves({"epoch", "phase", "val_error"});
+  std::size_t epoch = 0;
+  for (float e : converted.curves.phase1_error) {
+    curves.add_row({std::to_string(epoch++), "1", util::fmt_fixed(e, 5)});
+  }
+  for (float e : converted.curves.phase2_error) {
+    curves.add_row({std::to_string(epoch++), "2", util::fmt_fixed(e, 5)});
+  }
+  curves.write_file("cifar_curves.csv");
+
+  std::printf("\nMF-DFP: top-1 %.2f%% (float %.2f%%, gap %+.2f pts)\n",
+              100.0 * (1.0 - converted.final_error), 100.0 * float_eval.top1,
+              100.0 * (float_eval.top1 - 1.0 + converted.final_error));
+  std::printf("per-layer formats: %s\n", converted.spec.to_string().c_str());
+
+  // ----------------------------------------------- deployment + hardware
+  const hw::QNetDesc qnet =
+      hw::extract_qnet(converted.network, converted.spec, "cifar-mfdfp");
+  hw::save_qnet(qnet, "cifar_mfdfp.image");  // flashable deployment image
+  const hw::AcceleratorExecutor executor(hw::load_qnet("cifar_mfdfp.image"));
+  const tensor::Tensor sample =
+      tensor::slice_outer(dataset.test.images, 0, 64);
+  const float diff = tensor::max_abs_diff(
+      executor.run(sample),
+      converted.network.forward(
+          quant::quantize_input(converted.spec, sample), nn::Mode::kEval));
+  std::printf("\naccelerator bit-exactness on 64 images: max|diff| = %g\n",
+              diff);
+
+  const auto work = hw::workload_from_qnet(qnet, 3, in_h, in_w);
+  const hw::AcceleratorConfig mf = hw::mfdfp_config(1);
+  const hw::AcceleratorConfig fp = hw::float_baseline_config();
+  const hw::CycleReport mf_cycles = hw::count_cycles(work, mf);
+  const hw::CycleReport fp_cycles = hw::count_cycles(work, fp);
+  std::printf("latency %.2f us, energy %.2f uJ (float: %.2f us, %.2f uJ) -> "
+              "%.1f%% energy saved\n",
+              mf_cycles.microseconds(mf), hw::energy_uj(mf_cycles, mf),
+              fp_cycles.microseconds(fp), hw::energy_uj(fp_cycles, fp),
+              100.0 * hw::saving(hw::energy_uj(fp_cycles, fp),
+                                 hw::energy_uj(mf_cycles, mf)));
+  std::printf("deployment image: %zu parameter bytes (%.2fx smaller than "
+              "float)\n",
+              qnet.parameter_bytes(),
+              quant::memory_report(converted.network).compression());
+  std::printf("\nartifacts: cifar_float.weights, cifar_mfdfp.weights, "
+              "cifar_mfdfp.image, cifar_curves.csv\n");
+  return 0;
+}

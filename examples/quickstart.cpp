@@ -1,0 +1,95 @@
+// Quickstart: float training -> MF-DFP conversion -> accelerator deployment.
+//
+// Walks the full public API on a small synthetic dataset in about a minute:
+//  1. generate data, build the CIFAR-style network, train it in float;
+//  2. convert to a multiplier-free dynamic fixed-point network (Algorithm 1);
+//  3. extract the deployment image, run it bit-accurately on the simulated
+//     accelerator, and compare accuracy, latency, energy, and memory.
+#include <cstdio>
+
+#include "core/converter.hpp"
+#include "core/report.hpp"
+#include "data/synthetic.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/executor.hpp"
+#include "nn/metrics.hpp"
+#include "nn/zoo.hpp"
+#include "quant/memory.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace mfdfp;
+
+  // 1. Data + float baseline --------------------------------------------
+  data::SyntheticSpec spec = data::cifar_like_spec();
+  spec.train_count = 600;
+  spec.test_count = 200;
+  const data::DatasetPair dataset = data::make_synthetic(spec);
+
+  util::Rng rng{1};
+  nn::ZooConfig zoo;
+  zoo.in_channels = spec.channels;
+  zoo.in_h = spec.height;
+  zoo.in_w = spec.width;
+  zoo.num_classes = spec.num_classes;
+  zoo.width_multiplier = 0.25f;
+  nn::Network float_net = nn::make_cifar10_net(zoo, rng);
+
+  core::FloatTrainConfig train_config;
+  train_config.max_epochs = 8;
+  train_config.verbose = true;
+  util::Stopwatch watch;
+  core::train_float_network(float_net, dataset.train, dataset.test,
+                            train_config);
+  const nn::EvalResult float_eval =
+      nn::evaluate(float_net, dataset.test.images, dataset.test.labels);
+  std::printf("float net:  top-1 %.2f%%  (trained in %.1fs)\n",
+              100.0 * float_eval.top1, watch.seconds());
+
+  // 2. MF-DFP conversion (Algorithm 1) ----------------------------------
+  core::ConverterConfig conv_config;
+  conv_config.phase1_epochs = 4;
+  conv_config.phase2_epochs = 3;
+  conv_config.verbose = true;
+  core::MfDfpConverter converter(conv_config);
+  core::ConversionResult converted =
+      converter.convert(float_net, dataset.train, dataset.test);
+  std::printf("mf-dfp net: top-1 %.2f%%  (float was %.2f%%)\n",
+              100.0 * (1.0 - converted.final_error),
+              100.0 * (1.0 - converted.curves.float_error));
+  core::ReportOptions report_options;
+  report_options.in_c = spec.channels;
+  report_options.in_h = spec.height;
+  report_options.in_w = spec.width;
+  std::printf("%s", core::conversion_report(converted,
+                                            report_options).c_str());
+
+  // 3. Deployment on the simulated accelerator --------------------------
+  const hw::QNetDesc qnet =
+      hw::extract_qnet(converted.network, converted.spec, "quickstart");
+  const hw::AcceleratorExecutor executor(qnet);
+  const tensor::Tensor sample =
+      tensor::slice_outer(dataset.test.images, 0, 32);
+  const tensor::Tensor hw_logits = executor.run(sample);
+  const tensor::Tensor sw_logits = converted.network.forward(
+      quant::quantize_input(converted.spec, sample), nn::Mode::kEval);
+  std::printf("hw-vs-sw logit max|diff| on 32 images: %g (expect 0)\n",
+              tensor::max_abs_diff(hw_logits, sw_logits));
+
+  const hw::AcceleratorConfig mf = hw::mfdfp_config();
+  const hw::AcceleratorConfig fp = hw::float_baseline_config();
+  const auto work = hw::workload_from_qnet(qnet, spec.channels, spec.height,
+                                           spec.width);
+  const hw::CycleReport mf_cycles = hw::count_cycles(work, mf);
+  const hw::CycleReport fp_cycles = hw::count_cycles(work, fp);
+  std::printf("latency: %.2f us (mf-dfp) vs %.2f us (float)\n",
+              mf_cycles.microseconds(mf), fp_cycles.microseconds(fp));
+  std::printf("energy:  %.2f uJ (mf-dfp) vs %.2f uJ (float)  -> %.1f%% saved\n",
+              hw::energy_uj(mf_cycles, mf), hw::energy_uj(fp_cycles, fp),
+              100.0 * hw::saving(hw::energy_uj(fp_cycles, fp),
+                                 hw::energy_uj(mf_cycles, mf)));
+  const quant::MemoryReport memory = quant::memory_report(converted.network);
+  std::printf("weights: %.4f MB float -> %.4f MB mf-dfp (x%.1f smaller)\n",
+              memory.float_mb(), memory.mfdfp_mb(), memory.compression());
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "core/converter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/metrics.hpp"
+#include "nn/trainer.hpp"
+#include "util/logging.hpp"
+
+namespace mfdfp::core {
+
+tensor::Tensor compute_logits(nn::Network& network,
+                              const tensor::Tensor& images,
+                              std::size_t batch_size) {
+  const std::size_t total = images.shape().dim(0);
+  tensor::Tensor first =
+      network.forward(tensor::slice_outer(images, 0, 1), nn::Mode::kEval);
+  const std::size_t classes = first.shape().dim(1);
+  tensor::Tensor logits{tensor::Shape{total, classes}};
+  for (std::size_t begin = 0; begin < total; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, total);
+    const tensor::Tensor batch = tensor::slice_outer(images, begin, end);
+    const tensor::Tensor out = network.forward(batch, nn::Mode::kEval);
+    std::copy(out.data().begin(), out.data().end(),
+              logits.data().data() + begin * classes);
+  }
+  return logits;
+}
+
+ConversionResult MfDfpConverter::convert(const nn::Network& float_net,
+                                         const data::Dataset& train,
+                                         const data::Dataset& val) const {
+  return run(float_net, train, val, /*with_phase2=*/true);
+}
+
+ConversionResult MfDfpConverter::convert_labels_only(
+    const nn::Network& float_net, const data::Dataset& train,
+    const data::Dataset& val) const {
+  return run(float_net, train, val, /*with_phase2=*/false);
+}
+
+ConversionResult MfDfpConverter::run(const nn::Network& float_net,
+                                     const data::Dataset& train,
+                                     const data::Dataset& val,
+                                     bool with_phase2) const {
+  train.validate();
+  val.validate();
+  if (config_.phase1_epochs == 0 && config_.phase2_epochs == 0) {
+    throw std::invalid_argument("MfDfpConverter: zero epochs");
+  }
+
+  // Teacher: read-only float copy. Evaluate its reference error and
+  // precompute training-set logits (Algorithm 1 input `t_logits`).
+  nn::Network teacher = float_net.clone();
+  teacher.clear_transforms();
+
+  ConversionResult result;
+  result.curves.float_error = static_cast<float>(
+      1.0 - nn::evaluate(teacher, val.images, val.labels).top1);
+
+  // Student: clone, derive formats from float ranges, install fake quant
+  // (Algorithm 1 line 2: Quantize_8bit(FLnet)).
+  result.network = float_net.clone();
+  result.network.clear_transforms();
+  const std::size_t calib =
+      std::min(config_.calibration_count, train.size());
+  const tensor::Tensor calibration =
+      tensor::slice_outer(train.images, 0, std::max<std::size_t>(calib, 1));
+  result.spec = quant::analyze_ranges(result.network, calibration,
+                                      config_.activation_bits);
+  quant::QuantizerOptions qopt;
+  qopt.rounding = config_.rounding;
+  qopt.seed = config_.seed;
+  quant::install_mf_dfp(result.network, result.spec, qopt);
+
+  // The accelerator receives 8-bit inputs; quantize once up front.
+  const tensor::Tensor train_images =
+      quant::quantize_input(result.spec, train.images);
+  const tensor::Tensor val_images =
+      quant::quantize_input(result.spec, val.images);
+  const tensor::Tensor teacher_logits =
+      with_phase2 ? compute_logits(teacher, train.images)
+                  : tensor::Tensor{};
+
+  util::Rng rng{config_.seed};
+
+  // ------------------------------------------------ Phase 1: hard labels
+  const std::size_t phase1_epochs =
+      with_phase2 ? config_.phase1_epochs
+                  : config_.phase1_epochs + config_.phase2_epochs;
+  if (phase1_epochs > 0) {
+    nn::SgdOptimizer optimizer({config_.phase1_learning_rate,
+                                config_.momentum, config_.weight_decay});
+    nn::PlateauSchedule schedule({10.0f, config_.lr_patience,
+                                  config_.min_learning_rate, 1e-4f});
+    nn::TrainConfig tc;
+    tc.batch_size = config_.batch_size;
+    tc.max_epochs = phase1_epochs;
+    tc.on_epoch = [&](std::size_t epoch, float loss, float error) {
+      if (config_.verbose) {
+        util::logf() << "phase1 epoch " << epoch << " loss " << loss
+                     << " val-err " << error;
+      }
+      result.curves.phase1_error.push_back(error);
+      return !schedule.observe(error, optimizer);
+    };
+    nn::train(result.network, train_images, train.labels, val_images,
+              val.labels, nn::hard_label_loss(), optimizer, tc, rng);
+  }
+
+  // ------------------------------------------- Phase 2: student-teacher
+  if (with_phase2 && config_.phase2_epochs > 0) {
+    // Note (paper Section 6.2): Phase 2 branches from the *final* Phase-1
+    // point, which is near- but not necessarily at the best epoch — the
+    // paper reports this non-optimal branch point helps.
+    nn::SgdOptimizer optimizer({config_.phase2_learning_rate,
+                                config_.momentum, config_.weight_decay});
+    nn::PlateauSchedule schedule({10.0f, config_.lr_patience,
+                                  config_.min_learning_rate, 1e-4f});
+    const float tau = config_.tau;
+    const float beta = config_.beta;
+    const bool approx = config_.approximate_distill_gradient;
+    const std::size_t classes = teacher_logits.shape().dim(1);
+    nn::LossFn loss_fn = [&, tau, beta, approx, classes](
+                             const tensor::Tensor& logits,
+                             std::span<const int> labels,
+                             std::span<const std::size_t> batch_indices) {
+      tensor::Tensor teacher_batch{
+          tensor::Shape{batch_indices.size(), classes}};
+      for (std::size_t i = 0; i < batch_indices.size(); ++i) {
+        const float* src =
+            teacher_logits.data().data() + batch_indices[i] * classes;
+        std::copy(src, src + classes,
+                  teacher_batch.data().data() + i * classes);
+      }
+      return approx ? nn::distillation_loss_approx(logits, teacher_batch,
+                                                   labels, tau, beta)
+                    : nn::distillation_loss(logits, teacher_batch, labels,
+                                            tau, beta);
+    };
+
+    nn::TrainConfig tc;
+    tc.batch_size = config_.batch_size;
+    tc.max_epochs = config_.phase2_epochs;
+    tc.on_epoch = [&](std::size_t epoch, float loss, float error) {
+      if (config_.verbose) {
+        util::logf() << "phase2 epoch " << epoch << " loss " << loss
+                     << " val-err " << error;
+      }
+      result.curves.phase2_error.push_back(error);
+      return !schedule.observe(error, optimizer);
+    };
+    nn::train(result.network, train_images, train.labels, val_images,
+              val.labels, loss_fn, optimizer, tc, rng);
+  }
+
+  result.final_error = static_cast<float>(
+      1.0 - nn::evaluate(result.network, val_images, val.labels).top1);
+  return result;
+}
+
+}  // namespace mfdfp::core

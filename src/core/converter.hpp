@@ -1,0 +1,103 @@
+// MF-DFP conversion pipeline — Algorithm 1 of the paper.
+//
+// Input: a trained floating-point network ("FLnet") plus its training data.
+// Phase 1: quantize (power-of-two weights, 8-bit DFP activations) and
+//   fine-tune with hard labels, keeping float shadow weights that accumulate
+//   small gradients (Courbariaux et al.); forward always runs quantized.
+// Phase 2: continue fine-tuning with the student-teacher loss
+//   L = H(Y, P_S) + beta * H(P_T, P_S) at temperature tau, the teacher being
+//   the original float network (its training-set logits are precomputed, as
+//   the `t_logits` input of Algorithm 1).
+// Output: the quantized network, its QuantSpec, and the per-epoch error
+// curves that reproduce Figure 3.
+#pragma once
+
+#include "core/float_training.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+#include "quant/quantizer.hpp"
+
+namespace mfdfp::core {
+
+struct ConverterConfig {
+  int activation_bits = 8;
+  quant::Rounding rounding = quant::Rounding::kDeterministic;
+  /// Use the paper's Eq. 2 large-tau approximate gradient instead of the
+  /// exact distillation gradient (ablation).
+  bool approximate_distill_gradient = false;
+
+  // Phase 1 (hard labels).
+  std::size_t phase1_epochs = 8;
+  float phase1_learning_rate = 5e-3f;
+
+  // Phase 2 (student-teacher). Paper: tau = 20, beta = 0.2, lr0 = 1e-3,
+  // lr /= 10 on plateau, stop below 1e-7.
+  std::size_t phase2_epochs = 6;
+  float phase2_learning_rate = 1e-3f;
+  float tau = 20.0f;
+  float beta = 0.2f;
+  float min_learning_rate = 1e-7f;
+  int lr_patience = 2;
+
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  std::size_t batch_size = 32;
+  /// Calibration images for range analysis are taken from the head of the
+  /// training set.
+  std::size_t calibration_count = 128;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Error curves underlying Figure 3.
+struct ConversionCurves {
+  std::vector<float> phase1_error;  ///< val top-1 error per Phase-1 epoch
+  std::vector<float> phase2_error;  ///< val top-1 error per Phase-2 epoch
+  float float_error = 0.0f;         ///< teacher (float) val top-1 error
+};
+
+struct ConversionResult {
+  nn::Network network;  ///< quantized MF-DFP network, transforms installed
+  quant::QuantSpec spec;
+  ConversionCurves curves;
+  /// Final validation top-1 error of the MF-DFP network.
+  float final_error = 1.0f;
+};
+
+class MfDfpConverter {
+ public:
+  explicit MfDfpConverter(ConverterConfig config)
+      : config_(std::move(config)) {}
+
+  /// Runs Phases 1-2 on a copy of `float_net`. `float_net` itself is only
+  /// used read-only (as the teacher). Inputs are quantized to the derived
+  /// input format before training/eval, as the accelerator's DMA would
+  /// deliver them.
+  [[nodiscard]] ConversionResult convert(const nn::Network& float_net,
+                                         const data::Dataset& train,
+                                         const data::Dataset& val) const;
+
+  /// Phase-1-only variant (for the Figure 3 "data labels only" curve): runs
+  /// phase1_epochs + phase2_epochs epochs of hard-label fine-tuning.
+  [[nodiscard]] ConversionResult convert_labels_only(
+      const nn::Network& float_net, const data::Dataset& train,
+      const data::Dataset& val) const;
+
+  [[nodiscard]] const ConverterConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ConversionResult run(const nn::Network& float_net,
+                       const data::Dataset& train, const data::Dataset& val,
+                       bool with_phase2) const;
+
+  ConverterConfig config_;
+};
+
+/// Precomputes the teacher's logits over a dataset (Algorithm 1's t_logits).
+[[nodiscard]] tensor::Tensor compute_logits(nn::Network& network,
+                                            const tensor::Tensor& images,
+                                            std::size_t batch_size = 64);
+
+}  // namespace mfdfp::core

@@ -1,0 +1,53 @@
+#include "core/ensemble.hpp"
+
+#include <stdexcept>
+
+#include "nn/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace mfdfp::core {
+
+std::vector<nn::Network*> EnsembleResult::member_networks() {
+  std::vector<nn::Network*> nets;
+  nets.reserve(members.size());
+  for (ConversionResult& member : members) nets.push_back(&member.network);
+  return nets;
+}
+
+EnsembleResult EnsembleBuilder::build(const FloatNetFactory& factory,
+                                      const data::Dataset& train,
+                                      const data::Dataset& val) const {
+  if (config_.member_count == 0) {
+    throw std::invalid_argument("EnsembleBuilder: zero members");
+  }
+  EnsembleResult result;
+  result.members.reserve(config_.member_count);
+  for (std::size_t m = 0; m < config_.member_count; ++m) {
+    ConverterConfig member_config = config_.converter;
+    // Decorrelate member fine-tuning streams while staying deterministic.
+    member_config.seed = config_.converter.seed + 0x100 * (m + 1);
+    const nn::Network float_net = factory(m);
+    MfDfpConverter converter(member_config);
+    ConversionResult converted = converter.convert(float_net, train, val);
+    if (member_config.verbose) {
+      util::logf() << "ensemble member " << m << " final err "
+                   << converted.final_error;
+    }
+    result.members.push_back(std::move(converted));
+  }
+  return result;
+}
+
+nn::EvalResult evaluate_mfdfp_ensemble(EnsembleResult& ensemble,
+                                       const tensor::Tensor& images,
+                                       std::span<const int> labels) {
+  if (ensemble.members.empty()) {
+    throw std::invalid_argument("evaluate_mfdfp_ensemble: empty ensemble");
+  }
+  const tensor::Tensor quantized =
+      quant::quantize_input(ensemble.members.front().spec, images);
+  const std::vector<nn::Network*> nets = ensemble.member_networks();
+  return nn::evaluate_ensemble(nets, quantized, labels);
+}
+
+}  // namespace mfdfp::core

@@ -1,0 +1,56 @@
+// Ensemble of MF-DFP networks — Phase 3 of Algorithm 1 (paper Section 4.3).
+//
+// M networks of the same architecture are independently trained in float,
+// each converted to MF-DFP, and deployed side by side (the accelerator gains
+// one processing unit per member). Inference averages the members' logit
+// vectors and takes the argmax.
+#pragma once
+
+#include <functional>
+
+#include "core/converter.hpp"
+
+namespace mfdfp::core {
+
+struct EnsembleConfig {
+  std::size_t member_count = 2;
+  ConverterConfig converter;
+};
+
+struct EnsembleResult {
+  std::vector<ConversionResult> members;
+
+  /// Pointers to the member networks, for nn::evaluate_ensemble.
+  [[nodiscard]] std::vector<nn::Network*> member_networks();
+};
+
+/// Produces one trained float network per member index; members must differ
+/// (different init seeds and/or shuffling) for the ensemble to help.
+using FloatNetFactory = std::function<nn::Network(std::size_t member_index)>;
+
+class EnsembleBuilder {
+ public:
+  explicit EnsembleBuilder(EnsembleConfig config)
+      : config_(std::move(config)) {}
+
+  /// Runs Algorithm 1 once per member ("repeat Phase 1 and 2 with different
+  /// input FLnet").
+  [[nodiscard]] EnsembleResult build(const FloatNetFactory& factory,
+                                     const data::Dataset& train,
+                                     const data::Dataset& val) const;
+
+  [[nodiscard]] const EnsembleConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  EnsembleConfig config_;
+};
+
+/// Evaluates an ensemble on (images, labels), quantizing inputs with the
+/// first member's spec (members share the input format by construction).
+[[nodiscard]] nn::EvalResult evaluate_mfdfp_ensemble(
+    EnsembleResult& ensemble, const tensor::Tensor& images,
+    std::span<const int> labels);
+
+}  // namespace mfdfp::core

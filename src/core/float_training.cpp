@@ -1,0 +1,42 @@
+#include "core/float_training.hpp"
+
+#include "util/logging.hpp"
+
+namespace mfdfp::core {
+
+FloatTrainResult train_float_network(nn::Network& network,
+                                     const data::Dataset& train,
+                                     const data::Dataset& val,
+                                     const FloatTrainConfig& config) {
+  train.validate();
+  val.validate();
+
+  nn::SgdOptimizer optimizer({config.learning_rate, config.momentum,
+                              config.weight_decay});
+  nn::PlateauSchedule schedule(
+      {config.lr_factor, config.lr_patience, config.min_lr, 1e-4f});
+
+  nn::TrainConfig train_config;
+  train_config.batch_size = config.batch_size;
+  train_config.max_epochs = config.max_epochs;
+  train_config.on_epoch = [&](std::size_t epoch, float loss, float error) {
+    if (config.verbose) {
+      util::logf() << "float epoch " << epoch << " loss " << loss
+                   << " val-err " << error << " lr "
+                   << optimizer.learning_rate();
+    }
+    return !schedule.observe(error, optimizer);
+  };
+
+  util::Rng rng{config.seed};
+  FloatTrainResult result;
+  result.history =
+      nn::train(network, train.images, train.labels, val.images, val.labels,
+                nn::hard_label_loss(), optimizer, train_config, rng);
+  if (!result.history.empty()) {
+    result.final_val_error = result.history.back().val_top1_error;
+  }
+  return result;
+}
+
+}  // namespace mfdfp::core

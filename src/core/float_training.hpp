@@ -1,0 +1,35 @@
+// Baseline floating-point training (the "FLnet" input of Algorithm 1).
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace mfdfp::core {
+
+struct FloatTrainConfig {
+  std::size_t max_epochs = 12;
+  std::size_t batch_size = 32;
+  float learning_rate = 0.02f;
+  float momentum = 0.9f;
+  float weight_decay = 1e-4f;
+  /// Plateau schedule: divide lr by `lr_factor` after `patience` stale
+  /// epochs; stop below `min_lr`.
+  float lr_factor = 10.0f;
+  int lr_patience = 3;
+  float min_lr = 1e-5f;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct FloatTrainResult {
+  std::vector<nn::EpochStats> history;
+  float final_val_error = 1.0f;
+};
+
+/// Trains `network` in place with SGD + plateau schedule on hard labels.
+FloatTrainResult train_float_network(nn::Network& network,
+                                     const data::Dataset& train,
+                                     const data::Dataset& val,
+                                     const FloatTrainConfig& config);
+
+}  // namespace mfdfp::core

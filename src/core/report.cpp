@@ -1,0 +1,82 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "hw/cycle_model.hpp"
+#include "hw/qnet.hpp"
+#include "hw/traffic_model.hpp"
+#include "quant/memory.hpp"
+#include "util/table.hpp"
+
+namespace mfdfp::core {
+
+std::string conversion_report(const ConversionResult& result,
+                              const ReportOptions& options) {
+  std::ostringstream out;
+  out << "MF-DFP conversion report\n";
+  out << "  float val error:   "
+      << util::fmt_percent(result.curves.float_error) << " %\n";
+  out << "  mf-dfp val error:  " << util::fmt_percent(result.final_error)
+      << " % (gap "
+      << util::fmt_fixed(
+             100.0 * (result.final_error - result.curves.float_error), 2)
+      << " pts)\n";
+  out << "  fine-tuning:       " << result.curves.phase1_error.size()
+      << " phase-1 epochs, " << result.curves.phase2_error.size()
+      << " phase-2 epochs\n";
+
+  // Memory. The networks are identical in architecture, so the report is
+  // computed from the converted network's masters.
+  const quant::MemoryReport memory =
+      quant::memory_report(result.network);
+  out << "  parameters:        " << memory.weight_count << " weights, "
+      << memory.bias_count << " biases; "
+      << util::fmt_fixed(memory.float_mb(), 4) << " MB float -> "
+      << util::fmt_fixed(memory.mfdfp_mb(), 4) << " MB packed (x"
+      << util::fmt_fixed(memory.compression(), 2) << ")\n";
+
+  if (options.per_layer_formats) {
+    out << "  input format:      " << result.spec.input.to_string() << "\n";
+    for (std::size_t i = 0; i < result.spec.layer_output.size(); ++i) {
+      out << "    layer " << i << " ("
+          << result.network.layer(i).kind()
+          << "): " << result.spec.layer_output[i].to_string();
+      if (i < result.spec.layer_max_abs.size()) {
+        out << "  |max| = "
+            << util::fmt_fixed(result.spec.layer_max_abs[i], 3);
+      }
+      out << "\n";
+    }
+  }
+
+  if (options.hardware_metrics) {
+    try {
+      const hw::QNetDesc qnet =
+          hw::extract_qnet(result.network, result.spec, "report");
+      const auto work = hw::workload_from_qnet(qnet, options.in_c,
+                                               options.in_h, options.in_w);
+      const hw::AcceleratorConfig mf = hw::mfdfp_config(1);
+      const hw::AcceleratorConfig fp = hw::float_baseline_config();
+      const hw::CycleReport mf_cycles = hw::count_cycles(work, mf);
+      const hw::CycleReport fp_cycles = hw::count_cycles(work, fp);
+      const double e_mf = hw::energy_uj(mf_cycles, mf);
+      const double e_fp = hw::energy_uj(fp_cycles, fp);
+      const hw::TrafficReport traffic = hw::dma_traffic(work, mf);
+      out << "  deployment:        " << qnet.parameter_bytes()
+          << " bytes image; " << mf_cycles.total_cycles << " cycles = "
+          << util::fmt_fixed(mf_cycles.microseconds(mf), 2) << " us; "
+          << util::fmt_fixed(e_mf, 2) << " uJ ("
+          << util::fmt_percent(hw::saving(e_fp, e_mf))
+          << " % energy saved vs float); DMA "
+          << util::fmt_fixed(
+                 static_cast<double>(traffic.total_bytes) / 1024.0, 1)
+          << " KB/inference\n";
+    } catch (const std::invalid_argument& error) {
+      out << "  deployment:        not hardware-mappable (" << error.what()
+          << ")\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mfdfp::core

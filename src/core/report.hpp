@@ -1,0 +1,26 @@
+// Human-readable conversion report: what a downstream user sees after
+// running Algorithm 1 — accuracy deltas, per-layer formats, memory, and the
+// hardware metrics of deploying the result.
+#pragma once
+
+#include <string>
+
+#include "core/converter.hpp"
+#include "hw/cost_model.hpp"
+
+namespace mfdfp::core {
+
+struct ReportOptions {
+  /// Input geometry for the latency/energy section (channels, h, w).
+  std::size_t in_c = 3, in_h = 32, in_w = 32;
+  /// Include the per-layer format table.
+  bool per_layer_formats = true;
+  /// Include hardware latency/energy (needs a hardware-mappable network).
+  bool hardware_metrics = true;
+};
+
+/// Renders a multi-line summary of a conversion result.
+[[nodiscard]] std::string conversion_report(const ConversionResult& result,
+                                            const ReportOptions& options);
+
+}  // namespace mfdfp::core

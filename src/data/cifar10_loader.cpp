@@ -1,0 +1,95 @@
+#include "data/cifar10_loader.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace mfdfp::data {
+namespace {
+
+constexpr std::size_t kImageBytes = 3 * 32 * 32;
+constexpr std::size_t kRecordBytes = 1 + kImageBytes;
+
+}  // namespace
+
+Dataset load_cifar10_batch(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) throw std::runtime_error("cifar10: cannot open " + path);
+  const auto bytes = static_cast<std::size_t>(file.tellg());
+  if (bytes == 0 || bytes % kRecordBytes != 0) {
+    throw std::runtime_error("cifar10: " + path + " has unexpected size " +
+                             std::to_string(bytes));
+  }
+  const std::size_t count = bytes / kRecordBytes;
+  file.seekg(0);
+
+  Dataset ds;
+  ds.name = "cifar10:" + std::filesystem::path(path).filename().string();
+  ds.num_classes = 10;
+  ds.images = Tensor{Shape{count, 3, 32, 32}};
+  ds.labels.resize(count);
+
+  std::vector<unsigned char> record(kRecordBytes);
+  for (std::size_t n = 0; n < count; ++n) {
+    file.read(reinterpret_cast<char*>(record.data()),
+              static_cast<std::streamsize>(kRecordBytes));
+    if (!file) throw std::runtime_error("cifar10: short read in " + path);
+    if (record[0] > 9) {
+      throw std::runtime_error("cifar10: bad label in " + path);
+    }
+    ds.labels[n] = record[0];
+    float* dst = ds.images.data().data() + n * kImageBytes;
+    for (std::size_t i = 0; i < kImageBytes; ++i) {
+      dst[i] = (static_cast<float>(record[1 + i]) / 255.0f - 0.5f) * 2.0f;
+    }
+  }
+  ds.validate();
+  return ds;
+}
+
+std::optional<DatasetPair> load_cifar10(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path base{dir};
+  std::vector<std::string> train_files;
+  for (int i = 1; i <= 5; ++i) {
+    train_files.push_back(
+        (base / ("data_batch_" + std::to_string(i) + ".bin")).string());
+  }
+  const std::string test_file = (base / "test_batch.bin").string();
+  for (const auto& f : train_files) {
+    if (!fs::exists(f)) return std::nullopt;
+  }
+  if (!fs::exists(test_file)) return std::nullopt;
+
+  DatasetPair pair;
+  pair.test = load_cifar10_batch(test_file);
+  pair.test.name = "cifar10/test";
+
+  // Concatenate the five training batches.
+  std::vector<Dataset> batches;
+  batches.reserve(train_files.size());
+  std::size_t total = 0;
+  for (const auto& f : train_files) {
+    batches.push_back(load_cifar10_batch(f));
+    total += batches.back().size();
+  }
+  Dataset train;
+  train.name = "cifar10/train";
+  train.num_classes = 10;
+  train.images = Tensor{Shape{total, 3, 32, 32}};
+  train.labels.resize(total);
+  std::size_t offset = 0;
+  for (const Dataset& b : batches) {
+    std::copy(b.images.data().begin(), b.images.data().end(),
+              train.images.data().data() + offset * kImageBytes);
+    std::copy(b.labels.begin(), b.labels.end(),
+              train.labels.begin() + static_cast<std::ptrdiff_t>(offset));
+    offset += b.size();
+  }
+  train.validate();
+  pair.train = std::move(train);
+  return pair;
+}
+
+}  // namespace mfdfp::data

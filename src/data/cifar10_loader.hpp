@@ -1,0 +1,24 @@
+// Loader for the real CIFAR-10 binary distribution.
+//
+// When the canonical `cifar-10-batches-bin` files are present on disk the
+// experiments can run on real data; otherwise they fall back to the
+// synthetic generator (see synthetic.hpp). Binary record format:
+// 1 label byte + 3072 bytes (RGB planes of a 32x32 image).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace mfdfp::data {
+
+/// Reads one CIFAR-10 batch file (10000 records). Pixels are mapped to
+/// floats in [-1, 1]. Throws std::runtime_error on malformed files.
+[[nodiscard]] Dataset load_cifar10_batch(const std::string& path);
+
+/// Loads the full train (5 batches) + test (1 batch) split from `dir`.
+/// Returns std::nullopt if the directory or any batch file is missing.
+[[nodiscard]] std::optional<DatasetPair> load_cifar10(const std::string& dir);
+
+}  // namespace mfdfp::data

@@ -1,0 +1,64 @@
+#include "data/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mfdfp::data {
+
+void Dataset::validate() const {
+  if (images.empty() && labels.empty()) return;
+  if (images.shape().rank() != 4) {
+    throw std::logic_error("Dataset: images must be rank-4 NCHW");
+  }
+  if (labels.size() != images.shape().dim(0)) {
+    throw std::logic_error("Dataset: label count " +
+                           std::to_string(labels.size()) + " != image count " +
+                           std::to_string(images.shape().dim(0)));
+  }
+  if (num_classes == 0) throw std::logic_error("Dataset: num_classes == 0");
+  for (int label : labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::logic_error("Dataset: label out of range");
+    }
+  }
+}
+
+Dataset subset(const Dataset& dataset, std::size_t begin, std::size_t end) {
+  if (begin >= end || end > dataset.size()) {
+    throw std::out_of_range("subset: bad range");
+  }
+  Dataset out;
+  out.name = dataset.name;
+  out.num_classes = dataset.num_classes;
+  out.images = tensor::slice_outer(dataset.images, begin, end);
+  out.labels.assign(dataset.labels.begin() +
+                        static_cast<std::ptrdiff_t>(begin),
+                    dataset.labels.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+void shuffle_in_place(Dataset& dataset, util::Rng& rng) {
+  const std::size_t total = dataset.size();
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = total; i > 1; --i) {
+    const std::size_t j = rng.uniform_u64(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  dataset.images = tensor::gather_outer(dataset.images, order);
+  std::vector<int> labels(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    labels[i] = dataset.labels[order[i]];
+  }
+  dataset.labels = std::move(labels);
+}
+
+std::vector<std::size_t> class_histogram(const Dataset& ds) {
+  std::vector<std::size_t> histogram(ds.num_classes, 0);
+  for (int label : ds.labels) {
+    ++histogram[static_cast<std::size_t>(label)];
+  }
+  return histogram;
+}
+
+}  // namespace mfdfp::data

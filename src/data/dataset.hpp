@@ -1,0 +1,46 @@
+// Labeled image dataset container.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Images ({N,C,H,W}, float, roughly [-1,1]) with integer labels.
+struct Dataset {
+  std::string name;
+  Tensor images;
+  std::vector<int> labels;
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return images.empty() ? 0 : images.shape().dim(0);
+  }
+
+  /// Throws std::logic_error if sizes/labels/classes are inconsistent.
+  void validate() const;
+};
+
+/// Train/test pair.
+struct DatasetPair {
+  Dataset train;
+  Dataset test;
+};
+
+/// Returns a copy containing only items [begin, end).
+[[nodiscard]] Dataset subset(const Dataset& dataset, std::size_t begin,
+                             std::size_t end);
+
+/// Deterministically shuffles items (images + labels together).
+void shuffle_in_place(Dataset& dataset, util::Rng& rng);
+
+/// Per-class item counts; length == num_classes.
+[[nodiscard]] std::vector<std::size_t> class_histogram(const Dataset& ds);
+
+}  // namespace mfdfp::data

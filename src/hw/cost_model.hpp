@@ -1,0 +1,88 @@
+// Analytical 65 nm area/power model of the accelerator (paper Table 1).
+//
+// We cannot run Synopsys DC here, so the synthesis step is replaced by a
+// block-level cost model: the accelerator is decomposed into the same
+// structural pieces the RTL has (multipliers or shifters, adder-tree ranks,
+// accumulator/routing, nonlinearity units, SRAM buffers, per-PU control,
+// shared DMA/memory interface), each with an area and power constant at
+// 65 nm / 250 MHz / typical corner. Constants are calibrated so the three
+// designs of Table 1 land on the paper's synthesis results; the model then
+// *extrapolates structurally* for other configurations (more PUs, different
+// neuron/synapse counts, different buffer sizes), which is what the ablation
+// benches exercise.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mfdfp::hw {
+
+enum class Precision {
+  kFloat32,  ///< 32-bit floating-point datapath + 32-bit buffers (baseline)
+  kMfDfp,    ///< 8-bit activations, 4-bit pow2 weights, shift datapath
+};
+
+/// Structural description of one accelerator instance.
+struct AcceleratorConfig {
+  Precision precision = Precision::kMfDfp;
+  std::size_t processing_units = 1;
+  std::size_t neurons_per_pu = 16;
+  std::size_t synapses_per_neuron = 16;
+  double clock_hz = 250e6;
+
+  // Buffer capacity in *entries* per PU (input / weight / output). Entry
+  // width follows the precision (activations 8 vs 32 bit, weights 4 vs 32).
+  std::size_t input_buffer_entries = 2048;
+  std::size_t weight_buffer_entries = 16384;
+  std::size_t output_buffer_entries = 2048;
+
+  /// Extra pipeline stages of the multiply stage (FP multiplier is deeply
+  /// pipelined; the shifter is combinational). Affects per-layer drain
+  /// cycles in the cycle model.
+  [[nodiscard]] int pipeline_depth() const noexcept {
+    return precision == Precision::kFloat32 ? 12 : 4;
+  }
+
+  [[nodiscard]] std::size_t activation_bits() const noexcept {
+    return precision == Precision::kFloat32 ? 32 : 8;
+  }
+  [[nodiscard]] std::size_t weight_bits() const noexcept {
+    return precision == Precision::kFloat32 ? 32 : 4;
+  }
+
+  /// Total buffer bytes per PU given the precision's entry widths.
+  [[nodiscard]] std::size_t buffer_bytes_per_pu() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Canonical configurations of the paper's three designs.
+[[nodiscard]] AcceleratorConfig float_baseline_config();
+[[nodiscard]] AcceleratorConfig mfdfp_config(std::size_t processing_units = 1);
+
+struct CostBreakdown {
+  double multiplier_area_mm2 = 0.0;  ///< multipliers or shifters
+  double adder_tree_area_mm2 = 0.0;
+  double accumulator_area_mm2 = 0.0;
+  double nonlinearity_area_mm2 = 0.0;
+  double buffer_area_mm2 = 0.0;
+  double control_area_mm2 = 0.0;  ///< per-PU control + shared DMA/interface
+
+  double multiplier_power_mw = 0.0;
+  double adder_tree_power_mw = 0.0;
+  double accumulator_power_mw = 0.0;
+  double nonlinearity_power_mw = 0.0;
+  double buffer_power_mw = 0.0;
+  double control_power_mw = 0.0;
+
+  [[nodiscard]] double total_area_mm2() const noexcept;
+  [[nodiscard]] double total_power_mw() const noexcept;
+};
+
+/// Evaluates the block-level model for a configuration.
+[[nodiscard]] CostBreakdown cost_model(const AcceleratorConfig& config);
+
+/// Relative saving helper: (base - x) / base, in [0, 1] when x <= base.
+[[nodiscard]] double saving(double base, double x);
+
+}  // namespace mfdfp::hw

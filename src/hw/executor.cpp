@@ -1,0 +1,297 @@
+#include "hw/executor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfdfp::hw {
+
+using quant::DfpFormat;
+using quant::Pow2Weight;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor CodeTensor::decode() const {
+  const DfpFormat format{kInputBits, frac};
+  Tensor out{shape};
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = format.decode(codes[i]);
+  }
+  return out;
+}
+
+CodeTensor CodeTensor::encode(const Tensor& values, int frac) {
+  const DfpFormat format{kInputBits, frac};
+  CodeTensor out;
+  out.shape = values.shape();
+  out.frac = frac;
+  out.codes.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out.codes[i] = static_cast<std::int8_t>(format.encode(values[i]));
+  }
+  return out;
+}
+
+AcceleratorExecutor::AcceleratorExecutor(const QNetDesc& desc) : desc_(desc) {
+  decoded_weights_.resize(desc_.layers.size());
+  for (std::size_t i = 0; i < desc_.layers.size(); ++i) {
+    const std::vector<std::uint8_t>* packed = nullptr;
+    std::size_t count = 0;
+    if (const auto* conv = std::get_if<QConv>(&desc_.layers[i])) {
+      packed = &conv->packed_weights;
+      count = conv->out_c * conv->in_c * conv->kernel * conv->kernel;
+    } else if (const auto* fc =
+                   std::get_if<QFullyConnected>(&desc_.layers[i])) {
+      packed = &fc->packed_weights;
+      count = fc->out_features * fc->in_features;
+    }
+    if (packed == nullptr) continue;
+    if (packed->size() < (count + 1) / 2) {
+      throw std::invalid_argument("AcceleratorExecutor: short weight stream");
+    }
+    auto& decoded = decoded_weights_[i];
+    decoded.resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::uint8_t byte = (*packed)[k / 2];
+      const std::uint8_t nibble =
+          (k % 2 == 0) ? (byte & 0xF) : static_cast<std::uint8_t>(byte >> 4);
+      decoded[k] = quant::decode_nibble(nibble);
+    }
+  }
+}
+
+namespace {
+
+/// Runs one neuron over `count` (input code, weight) pairs in 16-synapse
+/// tiles through the shift datapath; returns the routed 8-bit output code.
+std::int32_t neuron_dot(std::span<const std::int8_t> input_codes,
+                        std::span<const std::size_t> input_index,
+                        std::span<const Pow2Weight> weights, int in_frac,
+                        int out_frac, std::int32_t bias_code) {
+  AccumulatorRouting acc(in_frac, out_frac, bias_code);
+  std::int64_t products[kSynapsesPerNeuron];
+  const std::size_t count = weights.size();
+  for (std::size_t tile = 0; tile < count; tile += kSynapsesPerNeuron) {
+    const std::size_t lanes =
+        std::min<std::size_t>(kSynapsesPerNeuron, count - tile);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t k = tile + lane;
+      const std::int32_t x =
+          input_index.empty()
+              ? input_codes[k]
+              : (input_index[k] == SIZE_MAX
+                     ? 0
+                     : input_codes[input_index[k]]);
+      products[lane] = synapse_product(x, weights[k]);
+    }
+    acc.accumulate(adder_tree({products, lanes}));
+  }
+  return acc.route();
+}
+
+}  // namespace
+
+CodeTensor AcceleratorExecutor::run_conv(const QConv& conv,
+                                         std::span<const Pow2Weight> weights,
+                                         const CodeTensor& input) const {
+  const Shape& in_shape = input.shape;
+  if (in_shape.rank() != 4 || in_shape.c() != conv.in_c) {
+    throw std::invalid_argument("run_conv: bad input shape");
+  }
+  const std::size_t batch = in_shape.n();
+  const std::size_t ih = in_shape.h(), iw = in_shape.w();
+  const std::size_t k = conv.kernel;
+  const std::size_t oh = (ih + 2 * conv.pad - k) / conv.stride + 1;
+  const std::size_t ow = (iw + 2 * conv.pad - k) / conv.stride + 1;
+  const std::size_t patch = conv.in_c * k * k;
+
+  CodeTensor out;
+  out.shape = Shape{batch, conv.out_c, oh, ow};
+  out.frac = conv.out_frac;
+  out.codes.resize(out.shape.size());
+
+  // Patch gather indices (SIZE_MAX marks a padded tap -> zero input).
+  std::vector<std::size_t> index(patch);
+  std::size_t out_i = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::size_t image_base = n * conv.in_c * ih * iw;
+    for (std::size_t oc = 0; oc < conv.out_c; ++oc) {
+      const std::span<const Pow2Weight> row{weights.data() + oc * patch,
+                                            patch};
+      const std::int32_t bias = conv.bias_codes[oc];
+      // Recompute gather indices per output pixel (oc-invariant, but the
+      // loop order keeps weight rows hot; index build is cheap).
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          std::size_t p = 0;
+          for (std::size_t c = 0; c < conv.in_c; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              const std::ptrdiff_t iy =
+                  static_cast<std::ptrdiff_t>(oy * conv.stride + ky) -
+                  static_cast<std::ptrdiff_t>(conv.pad);
+              for (std::size_t kx = 0; kx < k; ++kx, ++p) {
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(ox * conv.stride + kx) -
+                    static_cast<std::ptrdiff_t>(conv.pad);
+                const bool inside =
+                    iy >= 0 && iy < static_cast<std::ptrdiff_t>(ih) &&
+                    ix >= 0 && ix < static_cast<std::ptrdiff_t>(iw);
+                index[p] = inside
+                               ? image_base + (c * ih +
+                                               static_cast<std::size_t>(iy)) *
+                                                  iw +
+                                     static_cast<std::size_t>(ix)
+                               : SIZE_MAX;
+              }
+            }
+          }
+          out.codes[out_i] = static_cast<std::int8_t>(
+              neuron_dot(input.codes, index, row, input.frac, conv.out_frac,
+                         bias));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CodeTensor AcceleratorExecutor::run_fc(const QFullyConnected& fc,
+                                       std::span<const Pow2Weight> weights,
+                                       const CodeTensor& input) const {
+  if (input.shape.rank() != 2 || input.shape.dim(1) != fc.in_features) {
+    throw std::invalid_argument("run_fc: bad input shape");
+  }
+  const std::size_t batch = input.shape.dim(0);
+  CodeTensor out;
+  out.shape = Shape{batch, fc.out_features};
+  out.frac = fc.out_frac;
+  out.codes.resize(out.shape.size());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::span<const std::int8_t> row{
+        input.codes.data() + n * fc.in_features, fc.in_features};
+    for (std::size_t o = 0; o < fc.out_features; ++o) {
+      const std::span<const Pow2Weight> wrow{
+          weights.data() + o * fc.in_features, fc.in_features};
+      out.codes[n * fc.out_features + o] = static_cast<std::int8_t>(
+          neuron_dot(row, {}, wrow, input.frac, fc.out_frac,
+                     fc.bias_codes[o]));
+    }
+  }
+  return out;
+}
+
+CodeTensor AcceleratorExecutor::run_pool(const QPool& pool,
+                                         const CodeTensor& input) const {
+  const Shape& s = input.shape;
+  if (s.rank() != 4) throw std::invalid_argument("run_pool: rank-4 required");
+  const std::size_t ih = s.h(), iw = s.w();
+  const std::size_t oh = (ih + 2 * pool.pad - pool.window) / pool.stride + 1;
+  const std::size_t ow = (iw + 2 * pool.pad - pool.window) / pool.stride + 1;
+
+  CodeTensor out;
+  out.shape = Shape{s.n(), s.c(), oh, ow};
+  out.frac = pool.out_frac;
+  out.codes.resize(out.shape.size());
+
+  const DfpFormat out_format{kInputBits, pool.out_frac};
+  const float inv_area =
+      1.0f / static_cast<float>(pool.window * pool.window);
+  std::size_t out_i = 0;
+  for (std::size_t n = 0; n < s.n(); ++n) {
+    for (std::size_t c = 0; c < s.c(); ++c) {
+      const std::size_t plane = (n * s.c() + c) * ih * iw;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          bool found = false;
+          std::int32_t best = 0;
+          std::int64_t sum = 0;
+          for (std::size_t ky = 0; ky < pool.window; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(oy * pool.stride + ky) -
+                static_cast<std::ptrdiff_t>(pool.pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(ih)) continue;
+            for (std::size_t kx = 0; kx < pool.window; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(ox * pool.stride + kx) -
+                  static_cast<std::ptrdiff_t>(pool.pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(iw)) continue;
+              const std::int32_t code =
+                  input.codes[plane + static_cast<std::size_t>(iy) * iw +
+                              static_cast<std::size_t>(ix)];
+              if (!found || code > best) best = code;
+              found = true;
+              sum += code;
+            }
+          }
+          if (pool.is_max) {
+            out.codes[out_i] = static_cast<std::int8_t>(
+                convert_code(found ? best : 0, input.frac, pool.out_frac));
+          } else {
+            // Mirror the float model exactly: float mean of decoded taps
+            // (exact for window^2 * 127 < 2^24), then re-encode.
+            const float value =
+                static_cast<float>(std::ldexp(static_cast<double>(sum),
+                                              -input.frac)) *
+                inv_area;
+            out.codes[out_i] =
+                static_cast<std::int8_t>(out_format.encode(value));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+CodeTensor AcceleratorExecutor::run_codes(CodeTensor input) const {
+  for (std::size_t i = 0; i < desc_.layers.size(); ++i) {
+    const QLayer& layer = desc_.layers[i];
+    if (const auto* conv = std::get_if<QConv>(&layer)) {
+      input = run_conv(*conv, decoded_weights_[i], input);
+    } else if (const auto* fc = std::get_if<QFullyConnected>(&layer)) {
+      input = run_fc(*fc, decoded_weights_[i], input);
+    } else if (const auto* pool = std::get_if<QPool>(&layer)) {
+      input = run_pool(*pool, input);
+    } else if (const auto* relu = std::get_if<QRelu>(&layer)) {
+      for (std::int8_t& code : input.codes) {
+        const std::int32_t rectified = std::max<std::int32_t>(0, code);
+        code = static_cast<std::int8_t>(
+            convert_code(rectified, input.frac, relu->out_frac));
+      }
+      input.frac = relu->out_frac;
+    } else if (const auto* flat = std::get_if<QFlatten>(&layer)) {
+      std::size_t features = 1;
+      for (std::size_t axis = 1; axis < input.shape.rank(); ++axis) {
+        features *= input.shape.dim(axis);
+      }
+      input.shape = Shape{input.shape.dim(0), features};
+      if (flat->out_frac != input.frac) {
+        for (std::int8_t& code : input.codes) {
+          code = static_cast<std::int8_t>(
+              convert_code(code, input.frac, flat->out_frac));
+        }
+        input.frac = flat->out_frac;
+      }
+    }
+  }
+  return input;
+}
+
+Tensor AcceleratorExecutor::run(const Tensor& images) const {
+  const CodeTensor input = CodeTensor::encode(images, desc_.input_frac);
+  return run_codes(input).decode();
+}
+
+Tensor run_ensemble(std::span<const AcceleratorExecutor* const> members,
+                    const Tensor& images) {
+  if (members.empty()) {
+    throw std::invalid_argument("run_ensemble: no members");
+  }
+  Tensor sum = members.front()->run(images);
+  for (std::size_t m = 1; m < members.size(); ++m) {
+    sum.add(members[m]->run(images));
+  }
+  sum.scale(1.0f / static_cast<float>(members.size()));
+  return sum;
+}
+
+}  // namespace mfdfp::hw

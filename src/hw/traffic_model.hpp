@@ -1,0 +1,61 @@
+// Off-chip (DMA) traffic model for the three-buffer memory subsystem.
+//
+// The accelerator streams inputs, weights and outputs through three
+// dedicated buffers (paper Fig. 2b). Per inference, each layer must fetch
+// its input feature map once, its weights at least once (re-fetched when
+// the working set exceeds the weight buffer), and write its output map
+// once. Entry widths follow the precision: 8-bit activations / 4-bit
+// weights for MF-DFP versus 32/32 for the float baseline — which is where
+// the paper's "8x less memory" (Section 6.2) shows up as DMA bytes.
+//
+// Main-memory *power* is excluded, as in the paper; this model quantifies
+// the bandwidth pressure instead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "hw/cycle_model.hpp"
+
+namespace mfdfp::hw {
+
+struct LayerTraffic {
+  std::string name;
+  std::uint64_t input_bytes = 0;
+  std::uint64_t weight_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  /// How many times the weight working set is streamed (>= 1; > 1 when it
+  /// does not fit the weight buffer and output tiling forces re-fetch).
+  std::uint64_t weight_refetches = 1;
+
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return input_bytes + weight_bytes + output_bytes;
+  }
+};
+
+struct TrafficReport {
+  std::vector<LayerTraffic> layers;
+  std::uint64_t total_bytes = 0;
+
+  /// Average bandwidth needed to sustain the given latency, in GB/s.
+  [[nodiscard]] double required_bandwidth_gbps(double seconds) const {
+    return seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(total_bytes) / seconds / 1e9;
+  }
+};
+
+/// Per-inference DMA traffic of a workload on `config`.
+///
+/// Geometry comes from the same LayerWork list the cycle model uses, plus
+/// activation element counts derived from it: a conv layer reads
+/// output_pixels * patch input taps but only out_channels * patch unique
+/// weights; input maps are counted once (the input buffer tiles spatially,
+/// re-reading halo rows is ignored — a second-order effect at these kernel
+/// sizes).
+[[nodiscard]] TrafficReport dma_traffic(const std::vector<LayerWork>& work,
+                                        const AcceleratorConfig& config);
+
+}  // namespace mfdfp::hw

@@ -1,0 +1,79 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+
+Tensor ReLU::forward(const Tensor& input, Mode mode) {
+  Tensor output{input.shape()};
+  cached_shape_ = input.shape();
+  if (mode == Mode::kTrain) {
+    mask_.assign(input.size(), 0);
+  } else {
+    mask_.clear();
+  }
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const bool pass = input[i] > 0.0f;
+    output[i] = pass ? input[i] : 0.0f;
+    if (!mask_.empty()) mask_[i] = pass ? 1 : 0;
+  }
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (mask_.empty()) {
+    throw std::logic_error("ReLU::backward: forward(kTrain) required");
+  }
+  if (grad_output.size() != mask_.size()) {
+    throw std::invalid_argument("ReLU::backward: bad grad shape");
+  }
+  Tensor grad_input{cached_shape_};
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    grad_input[i] = mask_[i] ? grad_output[i] : 0.0f;
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  auto copy = std::make_unique<ReLU>();
+  copy->mask_ = mask_;
+  copy->cached_shape_ = cached_shape_;
+  copy->output_transform_ = output_transform_;
+  return copy;
+}
+
+Tensor Tanh::forward(const Tensor& input, Mode mode) {
+  Tensor output{input.shape()};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output[i] = std::tanh(input[i]);
+  }
+  cached_output_ = (mode == Mode::kTrain) ? output : Tensor{};
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (cached_output_.empty()) {
+    throw std::logic_error("Tanh::backward: forward(kTrain) required");
+  }
+  if (grad_output.size() != cached_output_.size()) {
+    throw std::invalid_argument("Tanh::backward: bad grad shape");
+  }
+  Tensor grad_input{cached_output_.shape()};
+  for (std::size_t i = 0; i < grad_output.size(); ++i) {
+    const float y = cached_output_[i];
+    grad_input[i] = grad_output[i] * (1.0f - y * y);
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const {
+  auto copy = std::make_unique<Tanh>();
+  copy->cached_output_ = cached_output_;
+  copy->output_transform_ = output_transform_;
+  return copy;
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,41 @@
+// Elementwise nonlinearity layers.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mfdfp::nn {
+
+/// Rectified linear unit: y = max(0, x).
+class ReLU final : public Layer {
+ public:
+  [[nodiscard]] const char* kind() const noexcept override { return "relu"; }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return input;
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  /// Per-element pass-through mask from the last training forward.
+  std::vector<unsigned char> mask_;
+  Shape cached_shape_{};
+};
+
+/// Hyperbolic tangent: y = tanh(x). Included for architecture variety in
+/// tests; the paper's networks use ReLU.
+class Tanh final : public Layer {
+ public:
+  [[nodiscard]] const char* kind() const noexcept override { return "tanh"; }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return input;
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,37 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace mfdfp::nn {
+
+void AdamOptimizer::step(const std::vector<ParamView>& params) {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(config_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(config_.beta2, static_cast<float>(step_count_));
+  for (const ParamView& view : params) {
+    Tensor& w = *view.master;
+    const Tensor& g = *view.grad;
+    auto [mit, m_new] = first_moment_.try_emplace(view.master, w.shape());
+    auto [vit, v_new] = second_moment_.try_emplace(view.master, w.shape());
+    Tensor& m = mit->second;
+    Tensor& v = vit->second;
+    if ((!m_new && m.shape() != w.shape()) ||
+        (!v_new && v.shape() != w.shape())) {
+      m = Tensor{w.shape()};
+      v = Tensor{w.shape()};
+    }
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g[i];
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g[i] * g[i];
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      w[i] -= config_.learning_rate *
+              (m_hat / (std::sqrt(v_hat) + config_.epsilon) +
+               config_.weight_decay * w[i]);
+    }
+  }
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,47 @@
+// Adam optimizer (Kingma & Ba), provided as an alternative to SGD+momentum
+// for the fine-tuning ablations. Algorithm 1 is optimizer-agnostic ("variants
+// of gradient descent methods", Section 4.1): the straight-through shadow
+// update works with any first-order method.
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/layer.hpp"
+
+namespace mfdfp::nn {
+
+class AdamOptimizer {
+ public:
+  struct Config {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;  ///< decoupled (AdamW-style)
+  };
+
+  explicit AdamOptimizer(const Config& config) : config_(config) {}
+
+  /// m <- b1*m + (1-b1)*g; v <- b2*v + (1-b2)*g^2;
+  /// w <- w - lr * mhat/(sqrt(vhat)+eps) - lr*wd*w.
+  void step(const std::vector<ParamView>& params);
+
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+  [[nodiscard]] float learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+
+  void reset_state() {
+    first_moment_.clear();
+    second_moment_.clear();
+    step_count_ = 0;
+  }
+
+ private:
+  Config config_;
+  std::unordered_map<const Tensor*, Tensor> first_moment_;
+  std::unordered_map<const Tensor*, Tensor> second_moment_;
+  long step_count_ = 0;
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,144 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+
+using tensor::ConvGeometry;
+
+Conv2D::Conv2D(const Config& config, util::Rng& rng) : config_(config) {
+  if (config.in_channels == 0 || config.out_channels == 0 ||
+      config.kernel == 0 || config.stride == 0) {
+    throw std::invalid_argument("Conv2D: invalid config");
+  }
+  const std::size_t fan_in =
+      config.in_channels * config.kernel * config.kernel;
+  weights_ = Tensor{Shape{config.out_channels, fan_in}};
+  bias_ = Tensor{Shape{config.out_channels}};
+  grad_weights_ = Tensor{weights_.shape()};
+  grad_bias_ = Tensor{bias_.shape()};
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  weights_.fill_normal(rng, 0.0f, stddev);
+}
+
+ConvGeometry Conv2D::geometry(const Shape& input) const {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("Conv2D: rank-4 NCHW input required, got " +
+                                input.to_string());
+  }
+  if (input.c() != config_.in_channels) {
+    throw std::invalid_argument("Conv2D: expected " +
+                                std::to_string(config_.in_channels) +
+                                " input channels, got " +
+                                std::to_string(input.c()));
+  }
+  ConvGeometry g;
+  g.in_c = input.c();
+  g.in_h = input.h();
+  g.in_w = input.w();
+  g.kernel_h = g.kernel_w = config_.kernel;
+  g.stride = config_.stride;
+  g.pad = config_.pad;
+  if (!g.valid()) {
+    throw std::invalid_argument("Conv2D: kernel does not fit input " +
+                                input.to_string());
+  }
+  return g;
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  const ConvGeometry g = geometry(input);
+  return Shape{input.n(), config_.out_channels, g.out_h(), g.out_w()};
+}
+
+Tensor Conv2D::forward(const Tensor& input, Mode mode) {
+  refresh_effective_params();
+  const ConvGeometry g = geometry(input.shape());
+  const std::size_t batch = input.shape().n();
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t out_spatial = oh * ow;
+
+  Tensor output{Shape{batch, config_.out_channels, oh, ow}};
+  cached_input_shape_ = input.shape();
+  if (mode == Mode::kTrain) {
+    cached_columns_.assign(batch, Tensor{Shape{g.patch_size(), out_spatial}});
+  }
+
+  const Tensor& w = effective_weights();
+  const Tensor& b = effective_bias();
+  Tensor columns{Shape{g.patch_size(), out_spatial}};
+  Tensor product{Shape{config_.out_channels, out_spatial}};
+  for (std::size_t n = 0; n < batch; ++n) {
+    Tensor& cols = (mode == Mode::kTrain) ? cached_columns_[n] : columns;
+    tensor::im2col(input, n, g, cols);
+    tensor::matmul(w, cols, product);
+    float* dst = output.data().data() +
+                 n * config_.out_channels * out_spatial;
+    const float* src = product.data().data();
+    for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+      const float bias_v = b[oc];
+      for (std::size_t i = 0; i < out_spatial; ++i) {
+        dst[oc * out_spatial + i] = src[oc * out_spatial + i] + bias_v;
+      }
+    }
+  }
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  if (cached_columns_.empty()) {
+    throw std::logic_error("Conv2D::backward: no cached forward state; "
+                           "call forward(kTrain) first");
+  }
+  const ConvGeometry g = geometry(cached_input_shape_);
+  const std::size_t batch = cached_input_shape_.n();
+  const std::size_t out_spatial = g.out_h() * g.out_w();
+  const Shape expected{batch, config_.out_channels, g.out_h(), g.out_w()};
+  if (grad_output.shape() != expected) {
+    throw std::invalid_argument("Conv2D::backward: grad shape " +
+                                grad_output.shape().to_string() + " != " +
+                                expected.to_string());
+  }
+
+  grad_weights_.zero();
+  grad_bias_.zero();
+  Tensor grad_input{cached_input_shape_};
+
+  const Tensor& w = effective_weights();
+  Tensor g_item{Shape{config_.out_channels, out_spatial}};
+  Tensor dw_item{Shape{weights_.shape().dim(0), weights_.shape().dim(1)}};
+  Tensor dcols{Shape{g.patch_size(), out_spatial}};
+  for (std::size_t n = 0; n < batch; ++n) {
+    // Slice grad_output for this item into a rank-2 view copy.
+    const float* src = grad_output.data().data() +
+                       n * config_.out_channels * out_spatial;
+    std::copy(src, src + config_.out_channels * out_spatial,
+              g_item.data().data());
+
+    // dW += G * cols^T ; db += row-sums of G.
+    tensor::matmul_nt(g_item, cached_columns_[n], dw_item);
+    grad_weights_.add(dw_item);
+    for (std::size_t oc = 0; oc < config_.out_channels; ++oc) {
+      float acc = 0.0f;
+      const float* row = g_item.data().data() + oc * out_spatial;
+      for (std::size_t i = 0; i < out_spatial; ++i) acc += row[i];
+      grad_bias_[oc] += acc;
+    }
+
+    // dInput via dcols = W^T * G, then col2im scatter.
+    tensor::matmul_tn(w, g_item, dcols);
+    tensor::col2im(dcols, n, g, grad_input);
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv2D::clone() const {
+  util::Rng throwaway{0};
+  auto copy = std::make_unique<Conv2D>(config_, throwaway);
+  copy_weighted_state_to(*copy);
+  return copy;
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,47 @@
+// 2-D convolution layer (NCHW), lowered to im2col + GEMM.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::nn {
+
+/// Standard cross-correlation conv layer with square kernels, zero padding,
+/// uniform stride, and per-output-channel bias.
+///
+/// Weights are stored as a rank-2 tensor {out_channels, in_c*k*k} so the
+/// forward pass is a single GEMM per batch item; this layout also matches the
+/// synapse ordering the hardware accelerator's weight buffer uses.
+class Conv2D final : public WeightedLayer {
+ public:
+  struct Config {
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+    std::size_t kernel = 3;
+    std::size_t stride = 1;
+    std::size_t pad = 0;
+  };
+
+  /// He-normal weight init using `rng`; bias zero.
+  Conv2D(const Config& config, util::Rng& rng);
+
+  [[nodiscard]] const char* kind() const noexcept override { return "conv2d"; }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] tensor::ConvGeometry geometry(const Shape& input) const;
+
+  Config config_;
+  // Backward caches: lowered input patches for every batch item plus the
+  // input shape; grad_output is re-derived from the caller's tensor.
+  std::vector<Tensor> cached_columns_;
+  Shape cached_input_shape_{};
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,39 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace mfdfp::nn {
+
+Shape Flatten::output_shape(const Shape& input) const {
+  if (input.rank() < 2) {
+    throw std::invalid_argument("Flatten: rank >= 2 input required");
+  }
+  std::size_t features = 1;
+  for (std::size_t axis = 1; axis < input.rank(); ++axis) {
+    features *= input.dim(axis);
+  }
+  return Shape{input.dim(0), features};
+}
+
+Tensor Flatten::forward(const Tensor& input, Mode /*mode*/) {
+  cached_input_shape_ = input.shape();
+  Tensor out = input.reshaped(output_shape(input.shape()));
+  apply_output_transform(out);
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() == 0) {
+    throw std::logic_error("Flatten::backward: forward required first");
+  }
+  return grad_output.reshaped(cached_input_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+  auto copy = std::make_unique<Flatten>();
+  copy->cached_input_shape_ = cached_input_shape_;
+  copy->output_transform_ = output_transform_;
+  return copy;
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,22 @@
+// Flatten layer: NCHW feature maps -> {N, C*H*W} vectors.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mfdfp::nn {
+
+class Flatten final : public Layer {
+ public:
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "flatten";
+  }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+ private:
+  Shape cached_input_shape_{};
+};
+
+}  // namespace mfdfp::nn

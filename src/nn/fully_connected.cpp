@@ -1,0 +1,85 @@
+#include "nn/fully_connected.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/im2col.hpp"
+
+namespace mfdfp::nn {
+
+FullyConnected::FullyConnected(const Config& config, util::Rng& rng)
+    : config_(config) {
+  if (config.in_features == 0 || config.out_features == 0) {
+    throw std::invalid_argument("FullyConnected: invalid config");
+  }
+  weights_ = Tensor{Shape{config.out_features, config.in_features}};
+  bias_ = Tensor{Shape{config.out_features}};
+  grad_weights_ = Tensor{weights_.shape()};
+  grad_bias_ = Tensor{bias_.shape()};
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(config.in_features));
+  weights_.fill_normal(rng, 0.0f, stddev);
+}
+
+Shape FullyConnected::output_shape(const Shape& input) const {
+  if (input.rank() != 2 || input.dim(1) != config_.in_features) {
+    throw std::invalid_argument("FullyConnected: want {N, " +
+                                std::to_string(config_.in_features) +
+                                "}, got " + input.to_string());
+  }
+  return Shape{input.dim(0), config_.out_features};
+}
+
+Tensor FullyConnected::forward(const Tensor& input, Mode mode) {
+  refresh_effective_params();
+  const Shape out_shape = output_shape(input.shape());
+  const std::size_t batch = input.shape().dim(0);
+
+  Tensor output{out_shape};
+  // y = x * W^T  (x: {N, in}, W: {out, in})
+  tensor::matmul_nt(input, effective_weights(), output);
+  const Tensor& b = effective_bias();
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* row = output.data().data() + n * config_.out_features;
+    for (std::size_t j = 0; j < config_.out_features; ++j) row[j] += b[j];
+  }
+
+  cached_input_ = (mode == Mode::kTrain) ? input : Tensor{};
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor FullyConnected::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("FullyConnected::backward: no cached input; "
+                           "call forward(kTrain) first");
+  }
+  const std::size_t batch = cached_input_.shape().dim(0);
+  const Shape expected{batch, config_.out_features};
+  if (grad_output.shape() != expected) {
+    throw std::invalid_argument("FullyConnected::backward: bad grad shape");
+  }
+
+  // dW = G^T * X ; db = column sums of G ; dX = G * W.
+  tensor::matmul_tn(grad_output, cached_input_, grad_weights_);
+  grad_bias_.zero();
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = grad_output.data().data() + n * config_.out_features;
+    for (std::size_t j = 0; j < config_.out_features; ++j) {
+      grad_bias_[j] += row[j];
+    }
+  }
+  Tensor grad_input{cached_input_.shape()};
+  tensor::matmul(grad_output, effective_weights(), grad_input);
+  return grad_input;
+}
+
+std::unique_ptr<Layer> FullyConnected::clone() const {
+  util::Rng throwaway{0};
+  auto copy = std::make_unique<FullyConnected>(config_, throwaway);
+  copy_weighted_state_to(*copy);
+  copy->cached_input_ = cached_input_;
+  return copy;
+}
+
+}  // namespace mfdfp::nn

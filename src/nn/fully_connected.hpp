@@ -1,0 +1,35 @@
+// Fully-connected (inner-product) layer.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::nn {
+
+/// y = x * W^T + b with W stored {out_features, in_features}.
+/// Input must be rank-2 {batch, in_features}; use Flatten upstream for
+/// feature maps.
+class FullyConnected final : public WeightedLayer {
+ public:
+  struct Config {
+    std::size_t in_features = 0;
+    std::size_t out_features = 0;
+  };
+
+  /// He-normal weight init; bias zero.
+  FullyConnected(const Config& config, util::Rng& rng);
+
+  [[nodiscard]] const char* kind() const noexcept override { return "fc"; }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  Tensor cached_input_;  ///< {batch, in_features}, kept for backward.
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,5 @@
+#include "nn/layer.hpp"
+
+// Layer and WeightedLayer are header-only; this TU anchors the vtable.
+
+namespace mfdfp::nn {}  // namespace mfdfp::nn

@@ -1,0 +1,167 @@
+// Layer abstraction for the training substrate.
+//
+// Layers are stateful value producers: forward() caches whatever backward()
+// needs, so the call protocol is strictly forward-then-backward per batch.
+//
+// Two hook points exist for the MF-DFP pipeline (quantize-forward /
+// float-backward, Algorithm 1 of the paper):
+//   * a *parameter transform* maps the float master weights to the effective
+//     weights used by forward/backward (e.g. round-to-power-of-two);
+//   * an *output transform* post-processes the layer output (e.g. snap
+//     activations to 8-bit dynamic fixed point).
+// Gradients flow straight through both transforms (straight-through
+// estimator) and the optimizer updates the float master copy, exactly as in
+// Courbariaux et al. and Algorithm 1 lines 4-7.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mfdfp::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+enum class Mode { kTrain, kEval };
+
+/// Elementwise tensor-to-tensor map used for fake quantization.
+/// `dst` is pre-sized to `src`'s shape; implementations overwrite all of it.
+using TensorTransform = std::function<void(const Tensor& src, Tensor& dst)>;
+
+/// Non-owning view of one learnable parameter of a layer.
+///
+/// `master` is the float-precision weight the optimizer updates; `effective`
+/// is what forward actually used this step (== master when no transform is
+/// installed); `grad` is d(loss)/d(effective), which the straight-through
+/// estimator treats as d(loss)/d(master).
+struct ParamView {
+  Tensor* master = nullptr;
+  Tensor* grad = nullptr;
+  const Tensor* effective = nullptr;
+  std::string name;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable identifier used in serialization and diagnostics ("conv2d", ...).
+  [[nodiscard]] virtual const char* kind() const noexcept = 0;
+
+  /// Computes the layer output, caching activations needed by backward().
+  virtual Tensor forward(const Tensor& input, Mode mode) = 0;
+
+  /// Given d(loss)/d(output), fills parameter gradients and returns
+  /// d(loss)/d(input). Must be preceded by forward() on the same batch.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Output shape produced for a given input shape (shape inference).
+  [[nodiscard]] virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Learnable parameters; empty for stateless layers.
+  virtual std::vector<ParamView> params() { return {}; }
+
+  /// Deep copy, including weights and installed transforms.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Installs/clears the activation (output) transform.
+  void set_output_transform(TensorTransform transform) {
+    output_transform_ = std::move(transform);
+  }
+  [[nodiscard]] bool has_output_transform() const noexcept {
+    return static_cast<bool>(output_transform_);
+  }
+
+ protected:
+  /// Applies the output transform in place if installed.
+  void apply_output_transform(Tensor& out) const {
+    if (output_transform_) {
+      Tensor transformed{out.shape()};
+      output_transform_(out, transformed);
+      out = std::move(transformed);
+    }
+  }
+
+  TensorTransform output_transform_;
+};
+
+/// Base for layers with weights + bias (Conv2D, FullyConnected).
+class WeightedLayer : public Layer {
+ public:
+  std::vector<ParamView> params() override {
+    return {
+        ParamView{&weights_, &grad_weights_, &effective_weights(), "weights"},
+        ParamView{&bias_, &grad_bias_, &effective_bias(), "bias"},
+    };
+  }
+
+  /// Installs/clears the master->effective transforms. Weights and bias get
+  /// independent transforms because the MF-DFP scheme quantizes them
+  /// differently (power-of-two vs 8-bit DFP). Pass nullptr to clear.
+  void set_param_transform(TensorTransform weight_transform,
+                           TensorTransform bias_transform) {
+    weight_transform_ = std::move(weight_transform);
+    bias_transform_ = std::move(bias_transform);
+  }
+  [[nodiscard]] bool has_param_transform() const noexcept {
+    return static_cast<bool>(weight_transform_) ||
+           static_cast<bool>(bias_transform_);
+  }
+
+  [[nodiscard]] const Tensor& master_weights() const noexcept {
+    return weights_;
+  }
+  [[nodiscard]] Tensor& master_weights() noexcept { return weights_; }
+  [[nodiscard]] const Tensor& master_bias() const noexcept { return bias_; }
+  [[nodiscard]] Tensor& master_bias() noexcept { return bias_; }
+
+  /// Effective (possibly quantized) parameters used by the last forward.
+  [[nodiscard]] const Tensor& effective_weights() const noexcept {
+    return weight_transform_ ? eff_weights_ : weights_;
+  }
+  [[nodiscard]] const Tensor& effective_bias() const noexcept {
+    return bias_transform_ ? eff_bias_ : bias_;
+  }
+
+ protected:
+  /// Recomputes effective weights from masters; called at each forward().
+  void refresh_effective_params() {
+    if (weight_transform_) {
+      if (eff_weights_.shape() != weights_.shape()) {
+        eff_weights_ = Tensor{weights_.shape()};
+      }
+      weight_transform_(weights_, eff_weights_);
+    }
+    if (bias_transform_) {
+      if (eff_bias_.shape() != bias_.shape()) {
+        eff_bias_ = Tensor{bias_.shape()};
+      }
+      bias_transform_(bias_, eff_bias_);
+    }
+  }
+
+  /// Copies weighted-layer state (weights + transforms) into `dst`.
+  void copy_weighted_state_to(WeightedLayer& dst) const {
+    dst.weights_ = weights_;
+    dst.bias_ = bias_;
+    dst.grad_weights_ = grad_weights_;
+    dst.grad_bias_ = grad_bias_;
+    dst.eff_weights_ = eff_weights_;
+    dst.eff_bias_ = eff_bias_;
+    dst.weight_transform_ = weight_transform_;
+    dst.bias_transform_ = bias_transform_;
+    dst.output_transform_ = output_transform_;
+  }
+
+  Tensor weights_, bias_;
+  Tensor grad_weights_, grad_bias_;
+  Tensor eff_weights_, eff_bias_;
+  TensorTransform weight_transform_;
+  TensorTransform bias_transform_;
+};
+
+}  // namespace mfdfp::nn

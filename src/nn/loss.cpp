@@ -1,0 +1,153 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+namespace {
+
+void check_logits(const Tensor& logits, std::span<const int> labels) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("loss: logits must be {N, K}");
+  }
+  if (labels.size() != logits.shape().dim(0)) {
+    throw std::invalid_argument("loss: label count mismatch");
+  }
+  const auto classes = static_cast<int>(logits.shape().dim(1));
+  for (int label : labels) {
+    if (label < 0 || label >= classes) {
+      throw std::invalid_argument("loss: label out of range");
+    }
+  }
+}
+
+constexpr float kLogFloor = 1e-12f;  // clamp for log() numerical safety
+
+}  // namespace
+
+Tensor softmax(const Tensor& logits, float temperature) {
+  if (logits.shape().rank() != 2) {
+    throw std::invalid_argument("softmax: logits must be {N, K}");
+  }
+  if (!(temperature > 0.0f)) {
+    throw std::invalid_argument("softmax: temperature must be > 0");
+  }
+  const std::size_t batch = logits.shape().dim(0);
+  const std::size_t classes = logits.shape().dim(1);
+  Tensor probs{logits.shape()};
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = logits.data().data() + n * classes;
+    float* out = probs.data().data() + n * classes;
+    float max_logit = row[0];
+    for (std::size_t k = 1; k < classes; ++k) {
+      max_logit = std::max(max_logit, row[k]);
+    }
+    float denom = 0.0f;
+    for (std::size_t k = 0; k < classes; ++k) {
+      out[k] = std::exp((row[k] - max_logit) / temperature);
+      denom += out[k];
+    }
+    const float inv = 1.0f / denom;
+    for (std::size_t k = 0; k < classes; ++k) out[k] *= inv;
+  }
+  return probs;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> labels) {
+  check_logits(logits, labels);
+  const std::size_t batch = logits.shape().dim(0);
+  const std::size_t classes = logits.shape().dim(1);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  Tensor probs = softmax(logits);
+  LossResult result;
+  result.grad_logits = probs;  // start from P, subtract one-hot below
+  float loss = 0.0f;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const auto label = static_cast<std::size_t>(labels[n]);
+    const float p = probs.data()[n * classes + label];
+    loss -= std::log(std::max(p, kLogFloor));
+    result.grad_logits[n * classes + label] -= 1.0f;
+  }
+  result.grad_logits.scale(inv_batch);
+  result.loss = loss * inv_batch;
+  return result;
+}
+
+LossResult distillation_loss(const Tensor& student_logits,
+                             const Tensor& teacher_logits,
+                             std::span<const int> labels, float tau,
+                             float beta) {
+  check_logits(student_logits, labels);
+  if (teacher_logits.shape() != student_logits.shape()) {
+    throw std::invalid_argument("distillation_loss: logits shape mismatch");
+  }
+  if (!(tau > 0.0f) || beta < 0.0f) {
+    throw std::invalid_argument("distillation_loss: bad tau/beta");
+  }
+  const std::size_t batch = student_logits.shape().dim(0);
+  const std::size_t classes = student_logits.shape().dim(1);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  // Hard-label term at tau = 1.
+  LossResult result = softmax_cross_entropy(student_logits, labels);
+
+  // Soft term: H(P_T, P_S) at temperature tau.
+  const Tensor soft_student = softmax(student_logits, tau);
+  const Tensor soft_teacher = softmax(teacher_logits, tau);
+  float soft_loss = 0.0f;
+  for (std::size_t i = 0; i < batch * classes; ++i) {
+    soft_loss -=
+        soft_teacher[i] * std::log(std::max(soft_student[i], kLogFloor));
+    // d/dz_S of H(P_T, P_S) with temperature tau is (P_S - P_T)/tau.
+    result.grad_logits[i] +=
+        beta * inv_batch / tau * (soft_student[i] - soft_teacher[i]);
+  }
+  result.loss += beta * soft_loss * inv_batch;
+  return result;
+}
+
+LossResult distillation_loss_approx(const Tensor& student_logits,
+                                    const Tensor& teacher_logits,
+                                    std::span<const int> labels, float tau,
+                                    float beta) {
+  check_logits(student_logits, labels);
+  if (teacher_logits.shape() != student_logits.shape()) {
+    throw std::invalid_argument("distillation_loss_approx: shape mismatch");
+  }
+  const std::size_t batch = student_logits.shape().dim(0);
+  const std::size_t classes = student_logits.shape().dim(1);
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  LossResult result = softmax_cross_entropy(student_logits, labels);
+
+  // Paper Eq. 2: beta/(N*tau^2) * (z_S - z_T), where the paper's N is the
+  // logit vector length (class count); rows are zero-meaned to satisfy the
+  // derivation's assumption sum_j z_j = 0. The batch mean adds inv_batch.
+  const float scale =
+      beta * inv_batch / (static_cast<float>(classes) * tau * tau);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* zs = student_logits.data().data() + n * classes;
+    const float* zt = teacher_logits.data().data() + n * classes;
+    float mean_s = 0.0f, mean_t = 0.0f;
+    for (std::size_t k = 0; k < classes; ++k) {
+      mean_s += zs[k];
+      mean_t += zt[k];
+    }
+    mean_s /= static_cast<float>(classes);
+    mean_t /= static_cast<float>(classes);
+    for (std::size_t k = 0; k < classes; ++k) {
+      result.grad_logits[n * classes + k] +=
+          scale * ((zs[k] - mean_s) - (zt[k] - mean_t));
+    }
+    // Loss bookkeeping: quadratic surrogate 0.5*scale*||zs-zt||^2 per row.
+    for (std::size_t k = 0; k < classes; ++k) {
+      const float d = (zs[k] - mean_s) - (zt[k] - mean_t);
+      result.loss += 0.5f * scale * d * d;
+    }
+  }
+  return result;
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,46 @@
+// Loss functions: softmax cross-entropy and the student-teacher
+// (knowledge-distillation) loss of the paper (Section 4.2, Eq. 1-2).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace mfdfp::nn {
+
+using tensor::Tensor;
+
+struct LossResult {
+  float loss = 0.0f;   ///< mean loss over the batch
+  Tensor grad_logits;  ///< d(mean loss)/d(logits), shape {N, K}
+};
+
+/// Row-wise softmax with temperature: P_i = exp(z_i/tau) / sum_j exp(z_j/tau).
+/// `logits` is {N, K}; tau must be > 0.
+[[nodiscard]] Tensor softmax(const Tensor& logits, float temperature = 1.0f);
+
+/// Mean softmax cross-entropy against integer labels, with gradient
+/// (P - Y)/N w.r.t. logits. `labels[i]` in [0, K).
+[[nodiscard]] LossResult softmax_cross_entropy(const Tensor& logits,
+                                               std::span<const int> labels);
+
+/// Student-teacher loss (paper Eq. 1):
+///   L = H(Y, P_S) + beta * H(P_T, P_S)
+/// where P_S/P_T are temperature-tau softmaxes of student/teacher logits.
+/// The returned gradient is exact:
+///   dL/dz_S = (softmax(z_S) - Y)/N + beta/(N*tau) * (P_S - P_T)
+/// which reduces to the paper's Eq. 2 approximation for large tau.
+[[nodiscard]] LossResult distillation_loss(const Tensor& student_logits,
+                                           const Tensor& teacher_logits,
+                                           std::span<const int> labels,
+                                           float tau, float beta);
+
+/// The paper's large-tau *approximate* gradient (Eq. 2), exposed for the
+/// ablation bench: dL/dz_S ~= (P_S1 - Y)/N + beta/(N*tau^2) * (z_S - z_T)
+/// with P_S1 the tau=1 softmax and logits zero-meaned per row.
+[[nodiscard]] LossResult distillation_loss_approx(const Tensor& student_logits,
+                                                  const Tensor& teacher_logits,
+                                                  std::span<const int> labels,
+                                                  float tau, float beta);
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,111 @@
+#include "nn/lrn.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+
+LocalResponseNorm::LocalResponseNorm(const Config& config)
+    : config_(config) {
+  if (config.local_size == 0 || config.local_size % 2 == 0) {
+    throw std::invalid_argument("LRN: local_size must be odd and > 0");
+  }
+}
+
+Tensor LocalResponseNorm::forward(const Tensor& input, Mode mode) {
+  if (input.shape().rank() != 4) {
+    throw std::invalid_argument("LRN: rank-4 NCHW input required");
+  }
+  const std::size_t batch = input.shape().n(), channels = input.shape().c();
+  const std::size_t spatial = input.shape().h() * input.shape().w();
+  const auto half = static_cast<std::ptrdiff_t>(config_.local_size / 2);
+  const float alpha_over_n =
+      config_.alpha / static_cast<float>(config_.local_size);
+
+  Tensor scale{input.shape()};
+  Tensor output{input.shape()};
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::ptrdiff_t lo =
+          std::max<std::ptrdiff_t>(0, static_cast<std::ptrdiff_t>(c) - half);
+      const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+          static_cast<std::ptrdiff_t>(channels) - 1,
+          static_cast<std::ptrdiff_t>(c) + half);
+      for (std::size_t s = 0; s < spatial; ++s) {
+        float sum_sq = 0.0f;
+        for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+          const float v =
+              input[(n * channels + static_cast<std::size_t>(j)) * spatial +
+                    s];
+          sum_sq += v * v;
+        }
+        const std::size_t idx = (n * channels + c) * spatial + s;
+        const float denom = config_.k + alpha_over_n * sum_sq;
+        scale[idx] = denom;
+        output[idx] = input[idx] * std::pow(denom, -config_.beta);
+      }
+    }
+  }
+  if (mode == Mode::kTrain) {
+    cached_input_ = input;
+    cached_scale_ = scale;
+  } else {
+    cached_input_ = Tensor{};
+    cached_scale_ = Tensor{};
+  }
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor LocalResponseNorm::backward(const Tensor& grad_output) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("LRN::backward: forward(kTrain) required");
+  }
+  if (grad_output.shape() != cached_input_.shape()) {
+    throw std::invalid_argument("LRN::backward: bad grad shape");
+  }
+  const Shape& shape = cached_input_.shape();
+  const std::size_t batch = shape.n(), channels = shape.c();
+  const std::size_t spatial = shape.h() * shape.w();
+  const auto half = static_cast<std::ptrdiff_t>(config_.local_size / 2);
+  const float alpha_over_n =
+      config_.alpha / static_cast<float>(config_.local_size);
+
+  // dL/dx_i = g_i * S_i^-beta
+  //           - 2*alpha/n*beta * x_i * sum_{j: i in window(j)}
+  //             g_j * x_j * S_j^-(beta+1)
+  Tensor grad_input{shape};
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t s = 0; s < spatial; ++s) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        const std::size_t idx = (n * channels + c) * spatial + s;
+        float acc = grad_output[idx] *
+                    std::pow(cached_scale_[idx], -config_.beta);
+        const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(
+            0, static_cast<std::ptrdiff_t>(c) - half);
+        const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(
+            static_cast<std::ptrdiff_t>(channels) - 1,
+            static_cast<std::ptrdiff_t>(c) + half);
+        for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+          const std::size_t jdx =
+              (n * channels + static_cast<std::size_t>(j)) * spatial + s;
+          acc -= 2.0f * alpha_over_n * config_.beta * cached_input_[idx] *
+                 grad_output[jdx] * cached_input_[jdx] *
+                 std::pow(cached_scale_[jdx], -(config_.beta + 1.0f));
+        }
+        grad_input[idx] = acc;
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> LocalResponseNorm::clone() const {
+  auto copy = std::make_unique<LocalResponseNorm>(config_);
+  copy->cached_input_ = cached_input_;
+  copy->cached_scale_ = cached_scale_;
+  copy->output_transform_ = output_transform_;
+  return copy;
+}
+
+}  // namespace mfdfp::nn

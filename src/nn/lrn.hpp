@@ -1,0 +1,44 @@
+// Local Response Normalization (across channels), as in AlexNet.
+//
+// The paper *removes* LRN layers from its benchmark networks (Section 6.1)
+// because the division/power operations cannot be mapped onto the
+// multiplier-free datapath. We implement LRN anyway so that (a) the
+// "remove LRN" design decision is reproducible as an ablation — train with
+// and without and compare — and (b) extract_qnet correctly *rejects*
+// networks that still contain it.
+//
+//   y_i = x_i / (k + alpha/n * sum_{j in window(i)} x_j^2)^beta
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mfdfp::nn {
+
+class LocalResponseNorm final : public Layer {
+ public:
+  struct Config {
+    std::size_t local_size = 5;  ///< channel window (odd)
+    float alpha = 1e-4f;
+    float beta = 0.75f;
+    float k = 1.0f;
+  };
+
+  explicit LocalResponseNorm(const Config& config);
+
+  [[nodiscard]] const char* kind() const noexcept override { return "lrn"; }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override {
+    return input;
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  Tensor cached_input_;
+  Tensor cached_scale_;  ///< (k + alpha/n * window sum of squares) per elem
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,91 @@
+#include "nn/metrics.hpp"
+
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+
+namespace mfdfp::nn {
+
+bool in_top_k(const Tensor& logits, std::size_t row, int label,
+              std::size_t k) {
+  const std::size_t classes = logits.shape().dim(1);
+  const float* values = logits.data().data() + row * classes;
+  const auto target = static_cast<std::size_t>(label);
+  const float target_value = values[target];
+  // Count entries strictly greater, plus equal entries at lower index
+  // (deterministic tie break).
+  std::size_t rank = 0;
+  for (std::size_t j = 0; j < classes; ++j) {
+    if (values[j] > target_value ||
+        (values[j] == target_value && j < target)) {
+      ++rank;
+    }
+  }
+  return rank < k;
+}
+
+namespace {
+
+template <typename LogitsFn>
+EvalResult evaluate_impl(LogitsFn&& batch_logits, const Tensor& images,
+                         std::span<const int> labels,
+                         std::size_t batch_size) {
+  const std::size_t total = images.shape().dim(0);
+  if (labels.size() != total) {
+    throw std::invalid_argument("evaluate: label count mismatch");
+  }
+  if (batch_size == 0) throw std::invalid_argument("evaluate: batch_size 0");
+
+  EvalResult result;
+  double loss_sum = 0.0;
+  std::size_t top1 = 0, top5 = 0;
+  for (std::size_t begin = 0; begin < total; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, total);
+    const Tensor batch = tensor::slice_outer(images, begin, end);
+    const Tensor logits = batch_logits(batch);
+    const std::span<const int> batch_labels =
+        labels.subspan(begin, end - begin);
+    const LossResult loss = softmax_cross_entropy(logits, batch_labels);
+    loss_sum += static_cast<double>(loss.loss) *
+                static_cast<double>(end - begin);
+    for (std::size_t i = 0; i < batch_labels.size(); ++i) {
+      if (in_top_k(logits, i, batch_labels[i], 1)) ++top1;
+      if (in_top_k(logits, i, batch_labels[i], 5)) ++top5;
+    }
+  }
+  result.sample_count = total;
+  result.top1 = static_cast<double>(top1) / static_cast<double>(total);
+  result.top5 = static_cast<double>(top5) / static_cast<double>(total);
+  result.mean_loss = loss_sum / static_cast<double>(total);
+  return result;
+}
+
+}  // namespace
+
+EvalResult evaluate(Network& network, const Tensor& images,
+                    std::span<const int> labels, std::size_t batch_size) {
+  return evaluate_impl(
+      [&](const Tensor& batch) { return network.forward(batch, Mode::kEval); },
+      images, labels, batch_size);
+}
+
+EvalResult evaluate_ensemble(std::span<Network* const> members,
+                             const Tensor& images,
+                             std::span<const int> labels,
+                             std::size_t batch_size) {
+  if (members.empty()) {
+    throw std::invalid_argument("evaluate_ensemble: no members");
+  }
+  return evaluate_impl(
+      [&](const Tensor& batch) {
+        Tensor sum = members.front()->forward(batch, Mode::kEval);
+        for (std::size_t m = 1; m < members.size(); ++m) {
+          sum.add(members[m]->forward(batch, Mode::kEval));
+        }
+        sum.scale(1.0f / static_cast<float>(members.size()));
+        return sum;
+      },
+      images, labels, batch_size);
+}
+
+}  // namespace mfdfp::nn

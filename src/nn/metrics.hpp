@@ -1,0 +1,35 @@
+// Classification metrics and batched network evaluation.
+#pragma once
+
+#include <span>
+
+#include "nn/network.hpp"
+
+namespace mfdfp::nn {
+
+/// True iff `label` is among the `k` largest entries of logits row `row`.
+/// Ties resolve in favour of lower class indices (deterministic).
+[[nodiscard]] bool in_top_k(const Tensor& logits, std::size_t row, int label,
+                            std::size_t k);
+
+struct EvalResult {
+  double top1 = 0.0;           ///< fraction correct, top-1
+  double top5 = 0.0;           ///< fraction correct, top-5 (== top1 if K<=5)
+  double mean_loss = 0.0;      ///< mean softmax cross-entropy
+  std::size_t sample_count = 0;
+};
+
+/// Runs `network` over `images`/`labels` in eval mode, `batch_size` items at
+/// a time, accumulating top-1/top-5 accuracy and mean loss.
+[[nodiscard]] EvalResult evaluate(Network& network, const Tensor& images,
+                                  std::span<const int> labels,
+                                  std::size_t batch_size = 64);
+
+/// Evaluates an averaged-logit ensemble (paper Section 4.3): class scores are
+/// the mean of each member's logits.
+[[nodiscard]] EvalResult evaluate_ensemble(std::span<Network* const> members,
+                                           const Tensor& images,
+                                           std::span<const int> labels,
+                                           std::size_t batch_size = 64);
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,86 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+namespace mfdfp::nn {
+
+Layer& Network::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument("Network::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *layers_.back();
+}
+
+Tensor Network::forward(const Tensor& input, Mode mode) {
+  if (layers_.empty()) throw std::logic_error("Network::forward: empty");
+  Tensor activation = layers_.front()->forward(input, mode);
+  for (std::size_t i = 1; i < layers_.size(); ++i) {
+    activation = layers_[i]->forward(activation, mode);
+  }
+  return activation;
+}
+
+Tensor Network::backward(const Tensor& grad_logits) {
+  if (layers_.empty()) throw std::logic_error("Network::backward: empty");
+  Tensor grad = grad_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i]->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<ParamView> Network::params() {
+  std::vector<ParamView> all;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    for (ParamView view : layers_[i]->params()) {
+      view.name = std::string(layers_[i]->kind()) + "." +
+                  std::to_string(i) + "." + view.name;
+      all.push_back(std::move(view));
+    }
+  }
+  return all;
+}
+
+std::size_t Network::param_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    // params() is non-const by design (exposes mutable views); cast is safe
+    // for counting.
+    for (const ParamView& view :
+         const_cast<Layer&>(*layer).params()) {
+      total += view.master->size();
+    }
+  }
+  return total;
+}
+
+Network Network::clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  return copy;
+}
+
+Shape Network::output_shape(Shape input) const {
+  for (const auto& layer : layers_) input = layer->output_shape(input);
+  return input;
+}
+
+std::vector<std::size_t> Network::weighted_layer_indices() const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (dynamic_cast<const WeightedLayer*>(layers_[i].get()) != nullptr) {
+      indices.push_back(i);
+    }
+  }
+  return indices;
+}
+
+void Network::clear_transforms() {
+  for (auto& layer : layers_) {
+    layer->set_output_transform(nullptr);
+    if (auto* weighted = dynamic_cast<WeightedLayer*>(layer.get())) {
+      weighted->set_param_transform(nullptr, nullptr);
+    }
+  }
+}
+
+}  // namespace mfdfp::nn

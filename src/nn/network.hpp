@@ -1,0 +1,62 @@
+// Sequential network container.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mfdfp::nn {
+
+/// A feed-forward chain of layers with aggregate parameter access,
+/// deep cloning (needed for teacher snapshots and ensembles), and hooks for
+/// the MF-DFP quantization pipeline.
+class Network {
+ public:
+  Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  /// Appends a layer; returns a reference for chained configuration.
+  Layer& add(std::unique_ptr<Layer> layer);
+
+  [[nodiscard]] std::size_t layer_count() const noexcept {
+    return layers_.size();
+  }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+  [[nodiscard]] const Layer& layer(std::size_t i) const {
+    return *layers_.at(i);
+  }
+
+  /// Runs all layers in order.
+  Tensor forward(const Tensor& input, Mode mode = Mode::kEval);
+
+  /// Propagates d(loss)/d(logits) back through all layers; fills parameter
+  /// gradients; returns d(loss)/d(input).
+  Tensor backward(const Tensor& grad_logits);
+
+  /// All learnable parameters, in layer order.
+  [[nodiscard]] std::vector<ParamView> params();
+
+  /// Total learnable scalar count.
+  [[nodiscard]] std::size_t param_count() const;
+
+  /// Deep copy (weights, transforms, cached state).
+  [[nodiscard]] Network clone() const;
+
+  /// Output shape for a given input shape, via per-layer inference.
+  [[nodiscard]] Shape output_shape(Shape input) const;
+
+  /// Indices of WeightedLayer entries (conv/fc), in order.
+  [[nodiscard]] std::vector<std::size_t> weighted_layer_indices() const;
+
+  /// Removes all parameter/output transforms (back to pure float network).
+  void clear_transforms();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,34 @@
+#include "nn/optimizer.hpp"
+
+namespace mfdfp::nn {
+
+void SgdOptimizer::step(const std::vector<ParamView>& params) {
+  for (const ParamView& view : params) {
+    Tensor& w = *view.master;
+    const Tensor& g = *view.grad;
+    auto [it, inserted] = velocity_.try_emplace(view.master, w.shape());
+    Tensor& v = it->second;
+    if (!inserted && v.shape() != w.shape()) v = Tensor{w.shape()};
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float grad = g[i] + config_.weight_decay * w[i];
+      v[i] = config_.momentum * v[i] - config_.learning_rate * grad;
+      w[i] += v[i];
+    }
+  }
+}
+
+bool PlateauSchedule::observe(float error, SgdOptimizer& optimizer) {
+  if (error < best_ - config_.min_improvement) {
+    best_ = error;
+    stale_epochs_ = 0;
+    return false;
+  }
+  if (++stale_epochs_ < config_.patience) return false;
+  stale_epochs_ = 0;
+  const float next = optimizer.learning_rate() / config_.factor;
+  if (next < config_.min_lr) return true;
+  optimizer.set_learning_rate(next);
+  return false;
+}
+
+}  // namespace mfdfp::nn

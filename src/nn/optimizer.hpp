@@ -1,0 +1,70 @@
+// SGD with momentum and weight decay, plus learning-rate schedules.
+//
+// The optimizer always updates the *master* (float) weights using gradients
+// computed against the *effective* (possibly quantized) weights — this is the
+// straight-through update of Algorithm 1 line 6.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mfdfp::nn {
+
+class SgdOptimizer {
+ public:
+  struct Config {
+    float learning_rate = 0.01f;
+    float momentum = 0.9f;
+    float weight_decay = 0.0f;  ///< L2 on master weights
+  };
+
+  explicit SgdOptimizer(const Config& config) : config_(config) {}
+
+  /// v <- mu*v - lr*(g + wd*w); w <- w + v, for every param view.
+  /// Momentum state is keyed by the master tensor's address, so views must
+  /// come from the same live Network across calls.
+  void step(const std::vector<ParamView>& params);
+
+  void set_learning_rate(float lr) noexcept { config_.learning_rate = lr; }
+  [[nodiscard]] float learning_rate() const noexcept {
+    return config_.learning_rate;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Drops all momentum state (e.g. when switching training phases).
+  void reset_state() { velocity_.clear(); }
+
+ private:
+  Config config_;
+  std::unordered_map<const Tensor*, Tensor> velocity_;
+};
+
+/// "Reduce on plateau" schedule matching the paper's protocol: divide the
+/// learning rate by `factor` when the monitored error has not improved for
+/// `patience` epochs; stop when lr < min_lr.
+class PlateauSchedule {
+ public:
+  struct Config {
+    float factor = 10.0f;
+    int patience = 3;
+    float min_lr = 1e-7f;
+    float min_improvement = 1e-4f;
+  };
+
+  explicit PlateauSchedule(const Config& config) : config_(config) {}
+
+  /// Feeds this epoch's validation error; returns true if training should
+  /// stop (lr exhausted). Adjusts `optimizer`'s lr in place.
+  bool observe(float error, SgdOptimizer& optimizer);
+
+  [[nodiscard]] float best_error() const noexcept { return best_; }
+
+ private:
+  Config config_;
+  float best_ = 1e30f;
+  int stale_epochs_ = 0;
+};
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,221 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+namespace {
+
+tensor::ConvGeometry pool_geometry(const Shape& input,
+                                   const PoolConfig& config) {
+  if (input.rank() != 4) {
+    throw std::invalid_argument("pooling: rank-4 NCHW input required");
+  }
+  tensor::ConvGeometry g;
+  g.in_c = input.c();
+  g.in_h = input.h();
+  g.in_w = input.w();
+  g.kernel_h = g.kernel_w = config.window;
+  g.stride = config.stride;
+  g.pad = config.pad;
+  if (!g.valid()) {
+    throw std::invalid_argument("pooling: window does not fit input " +
+                                input.to_string());
+  }
+  return g;
+}
+
+}  // namespace
+
+Shape pooled_shape(const Shape& input, const PoolConfig& config) {
+  const auto g = pool_geometry(input, config);
+  return Shape{input.n(), input.c(), g.out_h(), g.out_w()};
+}
+
+// ---------------------------------------------------------------- MaxPool2D
+
+MaxPool2D::MaxPool2D(const PoolConfig& config) : config_(config) {
+  if (config.window == 0 || config.stride == 0) {
+    throw std::invalid_argument("MaxPool2D: invalid config");
+  }
+}
+
+Shape MaxPool2D::output_shape(const Shape& input) const {
+  return pooled_shape(input, config_);
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, Mode mode) {
+  const auto g = pool_geometry(input.shape(), config_);
+  const Shape out_shape = pooled_shape(input.shape(), config_);
+  Tensor output{out_shape};
+  cached_input_shape_ = input.shape();
+  argmax_.assign(mode == Mode::kTrain ? out_shape.size() : 0, 0);
+
+  const std::size_t batch = input.shape().n(), channels = input.shape().c();
+  std::size_t out_i = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t y = 0; y < g.out_h(); ++y) {
+        for (std::size_t x = 0; x < g.out_w(); ++x, ++out_i) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          bool found = false;
+          for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(y * g.stride + ky) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+            for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(x * g.stride + kx) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) {
+                continue;
+              }
+              const std::size_t idx = input.shape().offset(
+                  n, c, static_cast<std::size_t>(iy),
+                  static_cast<std::size_t>(ix));
+              const float v = input[idx];
+              if (!found || v > best) {
+                best = v;
+                best_idx = idx;
+                found = true;
+              }
+            }
+          }
+          // g.valid() guarantees at least one in-bounds tap per window when
+          // pad < window; an all-padded window yields 0.
+          output[out_i] = found ? best : 0.0f;
+          if (!argmax_.empty()) argmax_[out_i] = found ? best_idx : SIZE_MAX;
+        }
+      }
+    }
+  }
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (argmax_.empty()) {
+    throw std::logic_error("MaxPool2D::backward: forward(kTrain) required");
+  }
+  if (grad_output.size() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2D::backward: bad grad shape");
+  }
+  Tensor grad_input{cached_input_shape_};
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    if (argmax_[i] != SIZE_MAX) grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2D::clone() const {
+  auto copy = std::make_unique<MaxPool2D>(config_);
+  copy->cached_input_shape_ = cached_input_shape_;
+  copy->argmax_ = argmax_;
+  copy->output_transform_ = output_transform_;
+  return copy;
+}
+
+// ---------------------------------------------------------------- AvgPool2D
+
+AvgPool2D::AvgPool2D(const PoolConfig& config) : config_(config) {
+  if (config.window == 0 || config.stride == 0) {
+    throw std::invalid_argument("AvgPool2D: invalid config");
+  }
+}
+
+Shape AvgPool2D::output_shape(const Shape& input) const {
+  return pooled_shape(input, config_);
+}
+
+Tensor AvgPool2D::forward(const Tensor& input, Mode /*mode*/) {
+  const auto g = pool_geometry(input.shape(), config_);
+  const Shape out_shape = pooled_shape(input.shape(), config_);
+  Tensor output{out_shape};
+  cached_input_shape_ = input.shape();
+
+  const float inv_area =
+      1.0f / static_cast<float>(config_.window * config_.window);
+  const std::size_t batch = input.shape().n(), channels = input.shape().c();
+  std::size_t out_i = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t y = 0; y < g.out_h(); ++y) {
+        for (std::size_t x = 0; x < g.out_w(); ++x, ++out_i) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(y * g.stride + ky) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+            for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(x * g.stride + kx) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) {
+                continue;
+              }
+              acc += input.at(n, c, static_cast<std::size_t>(iy),
+                              static_cast<std::size_t>(ix));
+            }
+          }
+          output[out_i] = acc * inv_area;
+        }
+      }
+    }
+  }
+  apply_output_transform(output);
+  return output;
+}
+
+Tensor AvgPool2D::backward(const Tensor& grad_output) {
+  if (cached_input_shape_.rank() != 4) {
+    throw std::logic_error("AvgPool2D::backward: forward required first");
+  }
+  const auto g = pool_geometry(cached_input_shape_, config_);
+  if (grad_output.shape() != pooled_shape(cached_input_shape_, config_)) {
+    throw std::invalid_argument("AvgPool2D::backward: bad grad shape");
+  }
+  Tensor grad_input{cached_input_shape_};
+  const float inv_area =
+      1.0f / static_cast<float>(config_.window * config_.window);
+  const std::size_t batch = cached_input_shape_.n();
+  const std::size_t channels = cached_input_shape_.c();
+  std::size_t out_i = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      for (std::size_t y = 0; y < g.out_h(); ++y) {
+        for (std::size_t x = 0; x < g.out_w(); ++x, ++out_i) {
+          const float share = grad_output[out_i] * inv_area;
+          for (std::size_t ky = 0; ky < g.kernel_h; ++ky) {
+            const std::ptrdiff_t iy =
+                static_cast<std::ptrdiff_t>(y * g.stride + ky) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+            for (std::size_t kx = 0; kx < g.kernel_w; ++kx) {
+              const std::ptrdiff_t ix =
+                  static_cast<std::ptrdiff_t>(x * g.stride + kx) -
+                  static_cast<std::ptrdiff_t>(g.pad);
+              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) {
+                continue;
+              }
+              grad_input.at(n, c, static_cast<std::size_t>(iy),
+                            static_cast<std::size_t>(ix)) += share;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> AvgPool2D::clone() const {
+  auto copy = std::make_unique<AvgPool2D>(config_);
+  copy->cached_input_shape_ = cached_input_shape_;
+  copy->output_transform_ = output_transform_;
+  return copy;
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,62 @@
+// Max and average pooling layers (NCHW).
+//
+// Both support arbitrary square window/stride/pad (the CIFAR reference net
+// uses overlapping 3x3/stride-2 pools). Padding taps are excluded from the
+// max and contribute zeros to the average, matching Caffe semantics.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace mfdfp::nn {
+
+struct PoolConfig {
+  std::size_t window = 2;
+  std::size_t stride = 2;
+  std::size_t pad = 0;
+};
+
+class MaxPool2D final : public Layer {
+ public:
+  explicit MaxPool2D(const PoolConfig& config);
+
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "maxpool";
+  }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const PoolConfig& config() const noexcept { return config_; }
+
+ private:
+  PoolConfig config_;
+  Shape cached_input_shape_{};
+  /// Flat input index of the winning tap for each output element.
+  std::vector<std::size_t> argmax_;
+};
+
+class AvgPool2D final : public Layer {
+ public:
+  explicit AvgPool2D(const PoolConfig& config);
+
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "avgpool";
+  }
+  Tensor forward(const Tensor& input, Mode mode) override;
+  Tensor backward(const Tensor& grad_output) override;
+  [[nodiscard]] Shape output_shape(const Shape& input) const override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+  [[nodiscard]] const PoolConfig& config() const noexcept { return config_; }
+
+ private:
+  PoolConfig config_;
+  Shape cached_input_shape_{};
+};
+
+/// Shared shape inference for pooling with given config.
+[[nodiscard]] Shape pooled_shape(const Shape& input, const PoolConfig& config);
+
+}  // namespace mfdfp::nn

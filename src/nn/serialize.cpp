@@ -1,0 +1,142 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'F', 'D', 'P'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::string& out, const void* data, std::size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void put(std::string& out, T value) {
+  put_bytes(out, &value, sizeof value);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+  void read_bytes(void* dst, std::size_t size) {
+    if (pos_ + size > bytes_.size()) {
+      throw std::runtime_error("weights: truncated stream");
+    }
+    std::memcpy(dst, bytes_.data() + pos_, size);
+    pos_ += size;
+  }
+
+  template <typename T>
+  T read() {
+    T value;
+    read_bytes(&value, sizeof value);
+    return value;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return pos_ == bytes_.size();
+  }
+
+ private:
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string weights_to_bytes(Network& network) {
+  std::string out;
+  put_bytes(out, kMagic, sizeof kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint64_t>(network.layer_count()));
+  for (std::size_t i = 0; i < network.layer_count(); ++i) {
+    Layer& layer = network.layer(i);
+    const std::string kind = layer.kind();
+    put(out, static_cast<std::uint32_t>(kind.size()));
+    put_bytes(out, kind.data(), kind.size());
+    const auto params = layer.params();
+    put(out, static_cast<std::uint64_t>(params.size()));
+    for (const ParamView& view : params) {
+      const Tensor& t = *view.master;
+      put(out, static_cast<std::uint64_t>(t.shape().rank()));
+      for (std::size_t axis = 0; axis < t.shape().rank(); ++axis) {
+        put(out, static_cast<std::uint64_t>(t.shape().dim(axis)));
+      }
+      put_bytes(out, t.data().data(), t.size() * sizeof(float));
+    }
+  }
+  return out;
+}
+
+void weights_from_bytes(Network& network, const std::string& bytes) {
+  Reader reader(bytes);
+  char magic[4];
+  reader.read_bytes(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("weights: bad magic");
+  }
+  if (reader.read<std::uint32_t>() != kVersion) {
+    throw std::runtime_error("weights: unsupported version");
+  }
+  const auto layer_count = reader.read<std::uint64_t>();
+  if (layer_count != network.layer_count()) {
+    throw std::runtime_error("weights: layer count mismatch");
+  }
+  for (std::size_t i = 0; i < layer_count; ++i) {
+    Layer& layer = network.layer(i);
+    const auto kind_len = reader.read<std::uint32_t>();
+    std::string kind(kind_len, '\0');
+    reader.read_bytes(kind.data(), kind_len);
+    if (kind != layer.kind()) {
+      throw std::runtime_error("weights: layer kind mismatch at index " +
+                               std::to_string(i) + ": file has '" + kind +
+                               "', network has '" + layer.kind() + "'");
+    }
+    const auto param_count = reader.read<std::uint64_t>();
+    auto params = layer.params();
+    if (param_count != params.size()) {
+      throw std::runtime_error("weights: param count mismatch");
+    }
+    for (ParamView& view : params) {
+      const auto rank = reader.read<std::uint64_t>();
+      if (rank != view.master->shape().rank()) {
+        throw std::runtime_error("weights: param rank mismatch");
+      }
+      for (std::size_t axis = 0; axis < rank; ++axis) {
+        if (reader.read<std::uint64_t>() != view.master->shape().dim(axis)) {
+          throw std::runtime_error("weights: param dim mismatch");
+        }
+      }
+      reader.read_bytes(view.master->data().data(),
+                        view.master->size() * sizeof(float));
+    }
+  }
+  if (!reader.exhausted()) {
+    throw std::runtime_error("weights: trailing bytes");
+  }
+}
+
+void save_weights(Network& network, const std::string& path) {
+  const std::string bytes = weights_to_bytes(network);
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) throw std::runtime_error("weights: cannot open " + path);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file) throw std::runtime_error("weights: write failed for " + path);
+}
+
+void load_weights(Network& network, const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("weights: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  weights_from_bytes(network, buffer.str());
+}
+
+}  // namespace mfdfp::nn

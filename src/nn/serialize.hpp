@@ -1,0 +1,29 @@
+// Binary (de)serialization of network weights.
+//
+// Format (little-endian):
+//   magic "MFDP" | u32 version | u64 layer_count |
+//   per layer: u32 kind_len | kind bytes | u64 param_count |
+//     per param: u64 rank | u64 dims[rank] | f32 data[size]
+// Only *master* float weights are stored; transforms are reinstalled by the
+// quantization pipeline after load.
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace mfdfp::nn {
+
+/// Serializes master weights of all layers. Throws std::runtime_error on I/O
+/// failure.
+void save_weights(Network& network, const std::string& path);
+
+/// Loads weights into an already-constructed network with identical
+/// architecture. Throws std::runtime_error on format/shape mismatch.
+void load_weights(Network& network, const std::string& path);
+
+/// In-memory round-trip helpers (used by tests and the ensemble builder).
+[[nodiscard]] std::string weights_to_bytes(Network& network);
+void weights_from_bytes(Network& network, const std::string& bytes);
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,83 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace mfdfp::nn {
+
+LossFn hard_label_loss() {
+  return [](const Tensor& logits, std::span<const int> labels,
+            std::span<const std::size_t>) {
+    return softmax_cross_entropy(logits, labels);
+  };
+}
+
+std::vector<EpochStats> train(Network& network, const Tensor& train_images,
+                              std::span<const int> train_labels,
+                              const Tensor& val_images,
+                              std::span<const int> val_labels,
+                              const LossFn& loss_fn, SgdOptimizer& optimizer,
+                              const TrainConfig& config, util::Rng& rng) {
+  const std::size_t total = train_images.shape().dim(0);
+  if (train_labels.size() != total) {
+    throw std::invalid_argument("train: label count mismatch");
+  }
+  if (config.batch_size == 0 || config.max_epochs == 0) {
+    throw std::invalid_argument("train: empty config");
+  }
+
+  std::vector<std::size_t> order(total);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<EpochStats> history;
+  history.reserve(config.max_epochs);
+
+  for (std::size_t epoch = 0; epoch < config.max_epochs; ++epoch) {
+    if (config.shuffle) {
+      // Fisher-Yates with our deterministic Rng.
+      for (std::size_t i = total; i > 1; --i) {
+        const std::size_t j = rng.uniform_u64(i);
+        std::swap(order[i - 1], order[j]);
+      }
+    }
+
+    double loss_sum = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t begin = 0; begin < total; begin += config.batch_size) {
+      const std::size_t end = std::min(begin + config.batch_size, total);
+      const std::span<const std::size_t> batch_indices{order.data() + begin,
+                                                       end - begin};
+      const Tensor batch_images =
+          tensor::gather_outer(train_images, batch_indices);
+      std::vector<int> batch_labels(batch_indices.size());
+      for (std::size_t i = 0; i < batch_indices.size(); ++i) {
+        batch_labels[i] = train_labels[batch_indices[i]];
+      }
+
+      const Tensor logits = network.forward(batch_images, Mode::kTrain);
+      LossResult loss = loss_fn(logits, batch_labels, batch_indices);
+      network.backward(loss.grad_logits);
+      optimizer.step(network.params());
+
+      loss_sum += static_cast<double>(loss.loss) *
+                  static_cast<double>(batch_indices.size());
+      seen += batch_indices.size();
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = static_cast<float>(loss_sum /
+                                          static_cast<double>(seen));
+    const EvalResult val = evaluate(network, val_images, val_labels,
+                                    config.batch_size);
+    stats.val_top1_error = static_cast<float>(1.0 - val.top1);
+    history.push_back(stats);
+
+    if (config.on_epoch &&
+        !config.on_epoch(epoch, stats.train_loss, stats.val_top1_error)) {
+      break;
+    }
+  }
+  return history;
+}
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,55 @@
+// Generic mini-batch training loop.
+//
+// The loss is injected as a callback from logits + labels so the same loop
+// drives plain cross-entropy training (Phase 1) and student-teacher
+// distillation (Phase 2), where the callback also consults the teacher.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "nn/loss.hpp"
+#include "nn/metrics.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::nn {
+
+/// Computes loss + d(loss)/d(logits) for one batch. `batch_indices` are the
+/// dataset positions of the batch rows (used by distillation to look up
+/// precomputed teacher logits).
+using LossFn = std::function<LossResult(const Tensor& logits,
+                                        std::span<const int> labels,
+                                        std::span<const std::size_t>
+                                            batch_indices)>;
+
+struct TrainConfig {
+  std::size_t batch_size = 32;
+  std::size_t max_epochs = 20;
+  bool shuffle = true;
+  /// Called after each epoch with (epoch, train_loss, val_error); returning
+  /// false stops training early.
+  std::function<bool(std::size_t, float, float)> on_epoch;
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  float train_loss = 0.0f;
+  float val_top1_error = 0.0f;
+};
+
+/// Trains `network` on (train_images, train_labels); after each epoch
+/// evaluates top-1 error on (val_images, val_labels). Returns per-epoch
+/// stats. `rng` drives shuffling only.
+std::vector<EpochStats> train(Network& network, const Tensor& train_images,
+                              std::span<const int> train_labels,
+                              const Tensor& val_images,
+                              std::span<const int> val_labels,
+                              const LossFn& loss_fn, SgdOptimizer& optimizer,
+                              const TrainConfig& config, util::Rng& rng);
+
+/// Standard hard-label loss callback.
+[[nodiscard]] LossFn hard_label_loss();
+
+}  // namespace mfdfp::nn

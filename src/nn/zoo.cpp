@@ -1,0 +1,109 @@
+#include "nn/zoo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/fully_connected.hpp"
+#include "nn/pooling.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+[[nodiscard]] std::size_t scaled(std::size_t channels, float multiplier) {
+  const auto value = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(channels) * multiplier));
+  return std::max<std::size_t>(value, 4);
+}
+
+[[nodiscard]] std::size_t flat_features(const Network& net,
+                                        const ZooConfig& config) {
+  const Shape out = net.output_shape(
+      Shape{1, config.in_channels, config.in_h, config.in_w});
+  std::size_t features = 1;
+  for (std::size_t axis = 1; axis < out.rank(); ++axis) {
+    features *= out.dim(axis);
+  }
+  return features;
+}
+
+}  // namespace
+
+Network make_cifar10_net(const ZooConfig& config, util::Rng& rng) {
+  if (config.in_h % 8 != 0 || config.in_w % 8 != 0) {
+    throw std::invalid_argument(
+        "make_cifar10_net: input dims must be divisible by 8");
+  }
+  const std::size_t c1 = scaled(32, config.width_multiplier);
+  const std::size_t c2 = scaled(32, config.width_multiplier);
+  const std::size_t c3 = scaled(64, config.width_multiplier);
+
+  Network net;
+  net.add(std::make_unique<Conv2D>(
+      Conv2D::Config{config.in_channels, c1, 5, 1, 2}, rng));
+  net.add(std::make_unique<MaxPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Conv2D>(Conv2D::Config{c1, c2, 5, 1, 2}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<AvgPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<Conv2D>(Conv2D::Config{c2, c3, 5, 1, 2}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<AvgPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<FullyConnected>(
+      FullyConnected::Config{flat_features(net, config), config.num_classes},
+      rng));
+  return net;
+}
+
+Network make_alexnet_mini(const ZooConfig& config, util::Rng& rng) {
+  if (config.in_h % 8 != 0 || config.in_w % 8 != 0) {
+    throw std::invalid_argument(
+        "make_alexnet_mini: input dims must be divisible by 8");
+  }
+  const std::size_t c1 = scaled(16, config.width_multiplier);
+  const std::size_t c2 = scaled(32, config.width_multiplier);
+  const std::size_t c3 = scaled(48, config.width_multiplier);
+  const std::size_t c4 = scaled(48, config.width_multiplier);
+  const std::size_t hidden = scaled(128, config.width_multiplier);
+
+  Network net;
+  net.add(std::make_unique<Conv2D>(
+      Conv2D::Config{config.in_channels, c1, 5, 1, 2}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<Conv2D>(Conv2D::Config{c1, c2, 5, 1, 2}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<Conv2D>(Conv2D::Config{c2, c3, 3, 1, 1}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Conv2D>(Conv2D::Config{c3, c4, 3, 1, 1}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<FullyConnected>(
+      FullyConnected::Config{flat_features(net, config), hidden}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<FullyConnected>(
+      FullyConnected::Config{hidden, config.num_classes}, rng));
+  return net;
+}
+
+Network make_mlp(const ZooConfig& config, std::size_t hidden,
+                 util::Rng& rng) {
+  const std::size_t features =
+      config.in_channels * config.in_h * config.in_w;
+  Network net;
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<FullyConnected>(
+      FullyConnected::Config{features, hidden}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<FullyConnected>(
+      FullyConnected::Config{hidden, config.num_classes}, rng));
+  return net;
+}
+
+}  // namespace mfdfp::nn

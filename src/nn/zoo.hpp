@@ -1,0 +1,41 @@
+// Benchmark network architectures.
+//
+// The paper evaluates the Krizhevsky cuda-convnet CIFAR-10 architecture and
+// an AlexNet-class ImageNet architecture (with LRN layers removed, Section
+// 6.1 — LRN is not amenable to the multiplier-free datapath, and we follow
+// that here: no normalization layers at all). These factories reproduce
+// those topologies parameterized by input geometry and a width multiplier so
+// the same code runs the paper-scale nets and the reduced-scale nets used by
+// the synthetic benchmarks.
+#pragma once
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::nn {
+
+struct ZooConfig {
+  std::size_t in_channels = 3;
+  std::size_t in_h = 32;
+  std::size_t in_w = 32;
+  std::size_t num_classes = 10;
+  /// Scales every hidden channel count; rounded up, floor of 4 channels.
+  float width_multiplier = 1.0f;
+};
+
+/// cuda-convnet CIFAR-10 topology (conv5-pool-relu ×3 + fc), pooling windows
+/// reduced to 2x2/stride-2 so the net also fits 16x16 inputs.
+/// conv1: 32ch maxpool; conv2: 32ch avgpool; conv3: 64ch avgpool; fc.
+[[nodiscard]] Network make_cifar10_net(const ZooConfig& config,
+                                       util::Rng& rng);
+
+/// AlexNet-style topology scaled for small inputs: four conv blocks with two
+/// pools plus a two-layer classifier head.
+[[nodiscard]] Network make_alexnet_mini(const ZooConfig& config,
+                                        util::Rng& rng);
+
+/// Small MLP (flatten-fc-relu-fc), used by unit tests and the quickstart.
+[[nodiscard]] Network make_mlp(const ZooConfig& config, std::size_t hidden,
+                               util::Rng& rng);
+
+}  // namespace mfdfp::nn

@@ -1,0 +1,39 @@
+#include "quant/memory.hpp"
+
+#include <sstream>
+
+namespace mfdfp::quant {
+
+std::string MemoryReport::to_string() const {
+  std::ostringstream out;
+  out << "MemoryReport{weights=" << weight_count << ", biases=" << bias_count
+      << ", float=" << float_bytes << "B, mfdfp=" << mfdfp_bytes
+      << "B, x" << compression() << "}";
+  return out.str();
+}
+
+MemoryReport memory_report(const nn::Network& network) {
+  MemoryReport report;
+  report.layer_count = network.layer_count();
+  std::size_t weighted_layers = 0;
+  std::size_t packed_weight_bytes = 0;
+  for (std::size_t i = 0; i < network.layer_count(); ++i) {
+    const auto* weighted =
+        dynamic_cast<const nn::WeightedLayer*>(&network.layer(i));
+    if (weighted == nullptr) continue;
+    ++weighted_layers;
+    report.weight_count += weighted->master_weights().size();
+    report.bias_count += weighted->master_bias().size();
+    // Nibbles are packed per layer (as in the deployment image), so each
+    // layer's stream rounds up to a whole byte independently.
+    packed_weight_bytes += (weighted->master_weights().size() + 1) / 2;
+  }
+  report.float_bytes = 4 * (report.weight_count + report.bias_count);
+  // 4-bit weights, 8-bit biases, and two 4-bit radix indices (m, n) per
+  // weighted layer.
+  report.mfdfp_bytes = packed_weight_bytes + report.bias_count +
+                       weighted_layers;
+  return report;
+}
+
+}  // namespace mfdfp::quant

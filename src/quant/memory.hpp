@@ -1,0 +1,43 @@
+// Parameter-memory accounting (paper Table 3).
+//
+// Floating-point baseline: 32 bits per weight and per bias.
+// MF-DFP: 4 bits per weight (sign + 3-bit exponent), 8 bits per bias, plus
+// per-layer radix bookkeeping (two small indices per layer, negligible but
+// counted for honesty).
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace mfdfp::quant {
+
+struct MemoryReport {
+  std::size_t weight_count = 0;
+  std::size_t bias_count = 0;
+  std::size_t layer_count = 0;
+
+  std::size_t float_bytes = 0;   ///< 32-bit weights + biases
+  std::size_t mfdfp_bytes = 0;   ///< 4-bit weights, 8-bit biases, radix regs
+
+  [[nodiscard]] double float_mb() const noexcept {
+    return static_cast<double>(float_bytes) / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] double mfdfp_mb() const noexcept {
+    return static_cast<double>(mfdfp_bytes) / (1024.0 * 1024.0);
+  }
+  /// float / mfdfp compression factor.
+  [[nodiscard]] double compression() const noexcept {
+    return mfdfp_bytes == 0
+               ? 0.0
+               : static_cast<double>(float_bytes) /
+                     static_cast<double>(mfdfp_bytes);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Counts parameters of `network` and sizes both representations.
+[[nodiscard]] MemoryReport memory_report(const nn::Network& network);
+
+}  // namespace mfdfp::quant

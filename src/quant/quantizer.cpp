@@ -1,0 +1,91 @@
+#include "quant/quantizer.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace mfdfp::quant {
+namespace {
+
+nn::TensorTransform make_pow2_transform(Rounding rounding,
+                                        std::uint64_t seed) {
+  if (rounding == Rounding::kDeterministic) {
+    return [](const tensor::Tensor& src, tensor::Tensor& dst) {
+      quantize_tensor_pow2(src, dst, Rounding::kDeterministic, nullptr);
+    };
+  }
+  // One persistent stream per transform instance keeps stochastic draws
+  // decorrelated across steps without reseeding.
+  auto rng = std::make_shared<util::Rng>(seed);
+  return [rng](const tensor::Tensor& src, tensor::Tensor& dst) {
+    quantize_tensor_pow2(src, dst, Rounding::kStochastic, rng.get());
+  };
+}
+
+nn::TensorTransform make_dfp_transform(DfpFormat format) {
+  return [format](const tensor::Tensor& src, tensor::Tensor& dst) {
+    quantize_tensor(format, src, dst);
+  };
+}
+
+}  // namespace
+
+void install_mf_dfp(nn::Network& network, const QuantSpec& spec,
+                    const QuantizerOptions& options) {
+  if (spec.layer_output.size() != network.layer_count()) {
+    throw std::invalid_argument("install_mf_dfp: spec arity " +
+                                std::to_string(spec.layer_output.size()) +
+                                " != layer count " +
+                                std::to_string(network.layer_count()));
+  }
+  for (std::size_t i = 0; i < network.layer_count(); ++i) {
+    nn::Layer& layer = network.layer(i);
+    layer.set_output_transform(make_dfp_transform(spec.layer_output[i]));
+    if (auto* weighted = dynamic_cast<nn::WeightedLayer*>(&layer)) {
+      weighted->set_param_transform(
+          make_pow2_transform(options.rounding, options.seed + i),
+          options.quantize_bias
+              ? make_dfp_transform(spec.layer_output[i])
+              : nn::TensorTransform{});
+    }
+  }
+}
+
+void strip_quantization(nn::Network& network) { network.clear_transforms(); }
+
+void bake_quantized_params(nn::Network& network, const QuantSpec& spec,
+                           const QuantizerOptions& options) {
+  if (spec.layer_output.size() != network.layer_count()) {
+    throw std::invalid_argument("bake_quantized_params: spec arity mismatch");
+  }
+  for (std::size_t i = 0; i < network.layer_count(); ++i) {
+    auto* weighted = dynamic_cast<nn::WeightedLayer*>(&network.layer(i));
+    if (weighted == nullptr) continue;
+    tensor::Tensor qw{weighted->master_weights().shape()};
+    quantize_tensor_pow2(weighted->master_weights(), qw,
+                         Rounding::kDeterministic, nullptr);
+    weighted->master_weights() = std::move(qw);
+    if (options.quantize_bias) {
+      tensor::Tensor qb{weighted->master_bias().shape()};
+      quantize_tensor(spec.layer_output[i], weighted->master_bias(), qb);
+      weighted->master_bias() = std::move(qb);
+    }
+  }
+}
+
+tensor::Tensor quantize_input(const QuantSpec& spec,
+                              const tensor::Tensor& images) {
+  tensor::Tensor out{images.shape()};
+  quantize_tensor(spec.input, images, out);
+  return out;
+}
+
+QuantSpec quantize_network(nn::Network& network,
+                           const tensor::Tensor& calibration,
+                           int activation_bits,
+                           const QuantizerOptions& options) {
+  QuantSpec spec = analyze_ranges(network, calibration, activation_bits);
+  install_mf_dfp(network, spec, options);
+  return spec;
+}
+
+}  // namespace mfdfp::quant

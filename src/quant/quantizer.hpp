@@ -1,0 +1,53 @@
+// Installs / removes MF-DFP fake quantization on a Network.
+//
+// After install():
+//   * every WeightedLayer's forward uses power-of-two effective weights and
+//     8-bit-DFP effective biases derived from its float masters;
+//   * every layer's output is snapped to its 8-bit DFP format;
+//   * the backward pass is unchanged (straight-through estimator), so the
+//     optimizer keeps updating float master weights — Algorithm 1 lines 4-7.
+//
+// The *input* image format is part of QuantSpec; callers quantize inputs via
+// quantize_input (the hardware DMA would deliver 8-bit inputs).
+#pragma once
+
+#include "nn/network.hpp"
+#include "quant/pow2.hpp"
+#include "quant/range.hpp"
+
+namespace mfdfp::quant {
+
+struct QuantizerOptions {
+  Rounding rounding = Rounding::kDeterministic;
+  /// Quantize biases to the layer's output DFP format (8-bit). Disable to
+  /// keep float biases (ablation only; hardware requires quantized biases).
+  bool quantize_bias = true;
+  /// Seed for stochastic rounding streams.
+  std::uint64_t seed = 0x9e3779b9ULL;
+};
+
+/// Applies the spec to `network` in place. The spec must have one output
+/// format per layer. Throws std::invalid_argument on arity mismatch.
+void install_mf_dfp(nn::Network& network, const QuantSpec& spec,
+                    const QuantizerOptions& options = {});
+
+/// Removes all transforms (the network computes in float again).
+void strip_quantization(nn::Network& network);
+
+/// Convenience: snaps master weights/biases to their quantized values so the
+/// network remains quantized even after strip_quantization. Used when
+/// freezing a converted model for deployment.
+void bake_quantized_params(nn::Network& network, const QuantSpec& spec,
+                           const QuantizerOptions& options = {});
+
+/// Quantizes input images to the spec's input format.
+[[nodiscard]] tensor::Tensor quantize_input(const QuantSpec& spec,
+                                            const tensor::Tensor& images);
+
+/// One-shot post-training quantization: analyze + install.
+[[nodiscard]] QuantSpec quantize_network(nn::Network& network,
+                                         const tensor::Tensor& calibration,
+                                         int activation_bits = 8,
+                                         const QuantizerOptions& options = {});
+
+}  // namespace mfdfp::quant

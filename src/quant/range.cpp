@@ -1,0 +1,57 @@
+#include "quant/range.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mfdfp::quant {
+
+std::string QuantSpec::to_string() const {
+  std::ostringstream out;
+  out << "QuantSpec{bits=" << activation_bits
+      << ", input=" << input.to_string();
+  for (std::size_t i = 0; i < layer_output.size(); ++i) {
+    out << ", L" << i << "=" << layer_output[i].to_string();
+    if (i < layer_max_abs.size()) out << "(|max|=" << layer_max_abs[i] << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+QuantSpec analyze_ranges(nn::Network& network,
+                         const tensor::Tensor& calibration,
+                         int activation_bits, std::size_t batch_size) {
+  if (calibration.shape().rank() != 4 || calibration.shape().dim(0) == 0) {
+    throw std::invalid_argument("analyze_ranges: need {N,C,H,W} calibration");
+  }
+  if (network.layer_count() == 0) {
+    throw std::invalid_argument("analyze_ranges: empty network");
+  }
+
+  const std::size_t total = calibration.shape().dim(0);
+  float input_max = 0.0f;
+  std::vector<float> layer_max(network.layer_count(), 0.0f);
+
+  for (std::size_t begin = 0; begin < total; begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, total);
+    tensor::Tensor activation =
+        tensor::slice_outer(calibration, begin, end);
+    input_max = std::max(input_max, activation.max_abs());
+    for (std::size_t i = 0; i < network.layer_count(); ++i) {
+      activation = network.layer(i).forward(activation, nn::Mode::kEval);
+      layer_max[i] = std::max(layer_max[i], activation.max_abs());
+    }
+  }
+
+  QuantSpec spec;
+  spec.activation_bits = activation_bits;
+  spec.input = choose_format(input_max, activation_bits);
+  spec.layer_max_abs = layer_max;
+  spec.layer_output.reserve(layer_max.size());
+  for (float m : layer_max) {
+    spec.layer_output.push_back(choose_format(m, activation_bits));
+  }
+  return spec;
+}
+
+}  // namespace mfdfp::quant

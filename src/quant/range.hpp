@@ -1,0 +1,33 @@
+// Ristretto-style range analysis (paper Section 4.1, following Gysel et al.).
+//
+// Runs calibration data through the *float* network and records per-layer
+// activation ranges; each layer's dynamic fixed-point fractional length is
+// then the largest f such that <bits, f> covers the observed max |activation|.
+#pragma once
+
+#include <vector>
+
+#include "nn/network.hpp"
+#include "quant/dfp.hpp"
+
+namespace mfdfp::quant {
+
+/// Per-network quantization decisions.
+struct QuantSpec {
+  int activation_bits = 8;
+  DfpFormat input;                      ///< format of the network input
+  std::vector<DfpFormat> layer_output;  ///< one per layer, post-activation
+  std::vector<float> layer_max_abs;     ///< observed ranges (diagnostics)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Observes activation ranges over `calibration` ({N,C,H,W}) in eval mode
+/// and derives formats with the given bit width. The network is run with its
+/// currently installed transforms (normally none: a float network).
+[[nodiscard]] QuantSpec analyze_ranges(nn::Network& network,
+                                       const tensor::Tensor& calibration,
+                                       int activation_bits = 8,
+                                       std::size_t batch_size = 64);
+
+}  // namespace mfdfp::quant

@@ -1,0 +1,164 @@
+#include "tensor/im2col.hpp"
+
+#include <stdexcept>
+
+namespace mfdfp::tensor {
+namespace {
+
+void check_geometry(const ConvGeometry& g) {
+  if (!g.valid()) throw std::invalid_argument("ConvGeometry: invalid");
+}
+
+}  // namespace
+
+void im2col(const Tensor& input, std::size_t n, const ConvGeometry& g,
+            Tensor& columns) {
+  check_geometry(g);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const Shape want{g.patch_size(), oh * ow};
+  if (columns.shape() != want) {
+    throw std::invalid_argument("im2col: columns shape " +
+                                columns.shape().to_string() + " != " +
+                                want.to_string());
+  }
+  auto out = columns.data();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        float* dst = out.data() + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          // Signed arithmetic: padded taps land at negative coordinates.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            const bool inside = iy >= 0 &&
+                                iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                                ix >= 0 &&
+                                ix < static_cast<std::ptrdiff_t>(g.in_w);
+            dst[y * ow + x] =
+                inside ? input.at(n, c, static_cast<std::size_t>(iy),
+                                  static_cast<std::size_t>(ix))
+                       : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const Tensor& columns, std::size_t n, const ConvGeometry& g,
+            Tensor& grad_input) {
+  check_geometry(g);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const Shape want{g.patch_size(), oh * ow};
+  if (columns.shape() != want) {
+    throw std::invalid_argument("col2im: columns shape mismatch");
+  }
+  auto cols = columns.data();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel_w; ++kw, ++row) {
+        const float* src = cols.data() + row * oh * ow;
+        for (std::size_t y = 0; y < oh; ++y) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(y * g.stride + kh) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t x = 0; x < ow; ++x) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(x * g.stride + kw) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            grad_input.at(n, c, static_cast<std::size_t>(iy),
+                          static_cast<std::size_t>(ix)) += src[y * ow + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& c) {
+  const auto& sa = a.shape();
+  const auto& sb = b.shape();
+  if (sa.rank() != 2 || sb.rank() != 2 || sa.dim(1) != sb.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " +
+                                sa.to_string() + " x " + sb.to_string());
+  }
+  const std::size_t m = sa.dim(0), k = sa.dim(1), n = sb.dim(1);
+  if (c.shape() != Shape{m, n}) {
+    throw std::invalid_argument("matmul: bad output shape");
+  }
+  c.zero();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // ikj order: unit-stride inner loop over both B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c) {
+  const auto& sa = a.shape();
+  const auto& sb = b.shape();
+  if (sa.rank() != 2 || sb.rank() != 2 || sa.dim(0) != sb.dim(0)) {
+    throw std::invalid_argument("matmul_tn: incompatible shapes");
+  }
+  const std::size_t k = sa.dim(0), m = sa.dim(1), n = sb.dim(1);
+  if (c.shape() != Shape{m, n}) {
+    throw std::invalid_argument("matmul_tn: bad output shape");
+  }
+  c.zero();
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c) {
+  const auto& sa = a.shape();
+  const auto& sb = b.shape();
+  if (sa.rank() != 2 || sb.rank() != 2 || sa.dim(1) != sb.dim(1)) {
+    throw std::invalid_argument("matmul_nt: incompatible shapes");
+  }
+  const std::size_t m = sa.dim(0), k = sa.dim(1), n = sb.dim(0);
+  if (c.shape() != Shape{m, n}) {
+    throw std::invalid_argument("matmul_nt: bad output shape");
+  }
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      pc[i * n + j] = acc;
+    }
+  }
+}
+
+}  // namespace mfdfp::tensor

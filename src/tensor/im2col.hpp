@@ -1,0 +1,62 @@
+// im2col / col2im lowering for convolution.
+//
+// Convolution forward is lowered to a matrix product: the input patch matrix
+// (rows = C*KH*KW, cols = OH*OW) times the kernel matrix. col2im is the exact
+// adjoint, used in the backward pass to scatter patch gradients back to the
+// input gradient. Zero padding and arbitrary stride are supported.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/tensor.hpp"
+
+namespace mfdfp::tensor {
+
+/// Geometry of one conv/pool window application.
+struct ConvGeometry {
+  std::size_t in_c = 0, in_h = 0, in_w = 0;
+  std::size_t kernel_h = 0, kernel_w = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  [[nodiscard]] std::size_t out_h() const {
+    return (in_h + 2 * pad - kernel_h) / stride + 1;
+  }
+  [[nodiscard]] std::size_t out_w() const {
+    return (in_w + 2 * pad - kernel_w) / stride + 1;
+  }
+  /// Rows of the lowered patch matrix.
+  [[nodiscard]] std::size_t patch_size() const {
+    return in_c * kernel_h * kernel_w;
+  }
+  /// True iff the window fits at least once in each spatial dim.
+  [[nodiscard]] bool valid() const {
+    return in_c && kernel_h && kernel_w && stride &&
+           in_h + 2 * pad >= kernel_h && in_w + 2 * pad >= kernel_w;
+  }
+};
+
+/// Lowers one image (C,H,W slice at batch index `n` of `input`) to `columns`,
+/// a rank-2 tensor of shape {patch_size, out_h*out_w}. Out-of-bounds (padded)
+/// taps produce zeros.
+void im2col(const Tensor& input, std::size_t n, const ConvGeometry& g,
+            Tensor& columns);
+
+/// Adjoint of im2col: accumulates `columns` (shape {patch_size, out_h*out_w})
+/// back into the (C,H,W) slice at batch index `n` of `grad_input`.
+/// grad_input is NOT zeroed here; caller zeroes once per batch.
+void col2im(const Tensor& columns, std::size_t n, const ConvGeometry& g,
+            Tensor& grad_input);
+
+/// C = A * B for rank-2 tensors: A is {m,k}, B is {k,n}, C is {m,n}.
+/// Plain triple loop with k-inner blocking; adequate for the network sizes
+/// used in the experiments.
+void matmul(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A^T * B: A is {k,m}, B is {k,n}, C is {m,n}.
+void matmul_tn(const Tensor& a, const Tensor& b, Tensor& c);
+
+/// C = A * B^T: A is {m,k}, B is {n,k}, C is {m,n}.
+void matmul_nt(const Tensor& a, const Tensor& b, Tensor& c);
+
+}  // namespace mfdfp::tensor

@@ -1,0 +1,60 @@
+#include "tensor/shape.hpp"
+
+#include <stdexcept>
+
+namespace mfdfp::tensor {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) {
+  if (dims.size() > kMaxRank) {
+    throw std::invalid_argument("Shape: rank " + std::to_string(dims.size()) +
+                                " exceeds max rank 4");
+  }
+  for (std::size_t d : dims) {
+    if (d == 0) throw std::invalid_argument("Shape: zero-sized dimension");
+    dims_[rank_++] = d;
+  }
+}
+
+std::size_t Shape::size() const noexcept {
+  std::size_t total = 1;
+  for (std::size_t i = 0; i < rank_; ++i) total *= dims_[i];
+  return total;
+}
+
+std::size_t Shape::dim(std::size_t axis) const {
+  if (axis >= rank_) {
+    throw std::out_of_range("Shape: axis " + std::to_string(axis) +
+                            " out of range for rank " + std::to_string(rank_));
+  }
+  return dims_[axis];
+}
+
+std::size_t Shape::offset(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) const {
+  if (rank_ != 4) throw std::logic_error("Shape::offset: rank-4 required");
+  return ((n * dims_[1] + c) * dims_[2] + h) * dims_[3] + w;
+}
+
+std::size_t Shape::offset(std::size_t row, std::size_t col) const {
+  if (rank_ != 2) throw std::logic_error("Shape::offset: rank-2 required");
+  return row * dims_[1] + col;
+}
+
+bool Shape::operator==(const Shape& other) const noexcept {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i)
+    if (dims_[i] != other.dims_[i]) return false;
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace mfdfp::tensor

@@ -1,0 +1,62 @@
+// Tensor shape algebra.
+//
+// Shapes are rank<=4 and interpreted as NCHW for image tensors; lower ranks
+// are right-aligned views of the same layout (e.g. rank-2 = {rows, cols}).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace mfdfp::tensor {
+
+/// Value-type shape: rank in [0,4], dims stored densely.
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 4;
+
+  Shape() = default;
+
+  /// Constructs from a dim list, e.g. Shape{8, 3, 32, 32}. Throws
+  /// std::invalid_argument on rank > 4 or zero-sized dims.
+  Shape(std::initializer_list<std::size_t> dims);
+
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// Total element count; 1 for rank-0 (scalar).
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Dim accessor. Precondition: axis < rank().
+  [[nodiscard]] std::size_t dim(std::size_t axis) const;
+  [[nodiscard]] std::size_t operator[](std::size_t axis) const {
+    return dim(axis);
+  }
+
+  // NCHW convenience accessors; valid for rank-4 shapes.
+  [[nodiscard]] std::size_t n() const { return dim(0); }
+  [[nodiscard]] std::size_t c() const { return dim(1); }
+  [[nodiscard]] std::size_t h() const { return dim(2); }
+  [[nodiscard]] std::size_t w() const { return dim(3); }
+
+  /// Row-major linear offset of a rank-4 index. Precondition: rank()==4.
+  [[nodiscard]] std::size_t offset(std::size_t n, std::size_t c,
+                                   std::size_t h, std::size_t w) const;
+
+  /// Row-major linear offset of a rank-2 index. Precondition: rank()==2.
+  [[nodiscard]] std::size_t offset(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] bool operator==(const Shape& other) const noexcept;
+  [[nodiscard]] bool operator!=(const Shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  /// "[8, 3, 32, 32]" for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::size_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace mfdfp::tensor

@@ -1,0 +1,167 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfdfp::tensor {
+
+Tensor::Tensor(Shape shape) : shape_(shape), data_(shape.size(), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(shape), data_(std::move(values)) {
+  if (data_.size() != shape_.size()) {
+    throw std::invalid_argument("Tensor: value count " +
+                                std::to_string(data_.size()) +
+                                " != shape size " +
+                                std::to_string(shape_.size()));
+  }
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::fill_normal(util::Rng& rng, float mean, float stddev) {
+  for (float& v : data_) v = rng.normal_f(mean, stddev);
+}
+
+void Tensor::fill_uniform(util::Rng& rng, float lo, float hi) {
+  for (float& v : data_) v = rng.uniform_f(lo, hi);
+}
+
+float Tensor::sum() const noexcept {
+  // Kahan summation: training statistics accumulate over many small terms.
+  float total = 0.0f;
+  float carry = 0.0f;
+  for (float v : data_) {
+    const float y = v - carry;
+    const float t = total + y;
+    carry = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+float Tensor::min() const noexcept {
+  float m = data_.empty() ? 0.0f : data_[0];
+  for (float v : data_) m = std::min(m, v);
+  return m;
+}
+
+float Tensor::max() const noexcept {
+  float m = data_.empty() ? 0.0f : data_[0];
+  for (float v : data_) m = std::max(m, v);
+  return m;
+}
+
+float Tensor::max_abs() const noexcept {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::mean() const noexcept {
+  return data_.empty() ? 0.0f : sum() / static_cast<float>(data_.size());
+}
+
+std::size_t Tensor::argmax(std::size_t begin, std::size_t end) const {
+  if (begin >= end || end > data_.size()) {
+    throw std::out_of_range("Tensor::argmax: bad range");
+  }
+  std::size_t best = begin;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    if (data_[i] > data_[best]) best = i;
+  }
+  return best;
+}
+
+Tensor& Tensor::add(const Tensor& other) { return axpy(1.0f, other); }
+
+Tensor& Tensor::axpy(float alpha, const Tensor& other) {
+  if (other.size() != size()) {
+    throw std::invalid_argument("Tensor::axpy: size mismatch");
+  }
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::scale(float alpha) noexcept {
+  for (float& v : data_) v *= alpha;
+  return *this;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (new_shape.size() != size()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch (" +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string() + ")");
+  }
+  return Tensor{new_shape, data_};
+}
+
+bool Tensor::equals(const Tensor& other) const noexcept {
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+namespace {
+
+Shape outer_resized(const Shape& s, std::size_t count) {
+  switch (s.rank()) {
+    case 1:
+      return Shape{count};
+    case 2:
+      return Shape{count, s.dim(1)};
+    case 3:
+      return Shape{count, s.dim(1), s.dim(2)};
+    case 4:
+      return Shape{count, s.dim(1), s.dim(2), s.dim(3)};
+    default:
+      throw std::invalid_argument("slice_outer: rank >= 1 required");
+  }
+}
+
+}  // namespace
+
+Tensor slice_outer(const Tensor& t, std::size_t begin, std::size_t end) {
+  const Shape& s = t.shape();
+  if (s.rank() == 0 || begin >= end || end > s.dim(0)) {
+    throw std::out_of_range("slice_outer: bad range");
+  }
+  const std::size_t item = s.size() / s.dim(0);
+  Tensor out{outer_resized(s, end - begin)};
+  std::copy(t.data().data() + begin * item, t.data().data() + end * item,
+            out.data().data());
+  return out;
+}
+
+Tensor gather_outer(const Tensor& t, std::span<const std::size_t> indices) {
+  const Shape& s = t.shape();
+  if (s.rank() == 0) throw std::invalid_argument("gather_outer: rank 0");
+  const std::size_t item = s.size() / s.dim(0);
+  Tensor out{outer_resized(s, indices.size())};
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= s.dim(0)) {
+      throw std::out_of_range("gather_outer: index out of range");
+    }
+    std::copy(t.data().data() + indices[i] * item,
+              t.data().data() + (indices[i] + 1) * item,
+              out.data().data() + i * item);
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  }
+  float m = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace mfdfp::tensor

@@ -1,0 +1,109 @@
+// Owning dense float tensor (row-major, rank <= 4, NCHW convention).
+//
+// This is the numeric workhorse of the training substrate. It is a plain
+// value type: copyable, movable, with contiguous storage exposed via span for
+// kernels (im2col/GEMM) that want raw loops.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Allocates and fills from `values`; size must match shape.size().
+  Tensor(Shape shape, std::vector<float> values);
+
+  [[nodiscard]] const Shape& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> data() noexcept { return data_; }
+  [[nodiscard]] std::span<const float> data() const noexcept { return data_; }
+
+  /// Flat element access with bounds checking in debug builds.
+  [[nodiscard]] float& at(std::size_t i) { return data_.at(i); }
+  [[nodiscard]] float at(std::size_t i) const { return data_.at(i); }
+  [[nodiscard]] float& operator[](std::size_t i) noexcept { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  /// NCHW element access. Precondition: rank-4 shape.
+  [[nodiscard]] float& at(std::size_t n, std::size_t c, std::size_t h,
+                          std::size_t w) {
+    return data_[shape_.offset(n, c, h, w)];
+  }
+  [[nodiscard]] float at(std::size_t n, std::size_t c, std::size_t h,
+                         std::size_t w) const {
+    return data_[shape_.offset(n, c, h, w)];
+  }
+
+  /// Rank-2 element access.
+  [[nodiscard]] float& at2(std::size_t r, std::size_t c) {
+    return data_[shape_.offset(r, c)];
+  }
+  [[nodiscard]] float at2(std::size_t r, std::size_t c) const {
+    return data_[shape_.offset(r, c)];
+  }
+
+  // --- fills -----------------------------------------------------------
+  void fill(float value) noexcept;
+  void zero() noexcept { fill(0.0f); }
+
+  /// I.i.d. normal fill.
+  void fill_normal(util::Rng& rng, float mean, float stddev);
+
+  /// I.i.d. uniform fill over [lo, hi).
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+
+  // --- reductions ------------------------------------------------------
+  [[nodiscard]] float sum() const noexcept;
+  [[nodiscard]] float min() const noexcept;
+  [[nodiscard]] float max() const noexcept;
+  /// Largest absolute value; 0 for empty tensors.
+  [[nodiscard]] float max_abs() const noexcept;
+  [[nodiscard]] float mean() const noexcept;
+
+  /// Index of the maximum element in [begin, end). Precondition: begin < end.
+  [[nodiscard]] std::size_t argmax(std::size_t begin, std::size_t end) const;
+  [[nodiscard]] std::size_t argmax() const { return argmax(0, size()); }
+
+  // --- elementwise in-place ops ---------------------------------------
+  Tensor& add(const Tensor& other);          ///< this += other
+  Tensor& axpy(float alpha, const Tensor& other);  ///< this += alpha*other
+  Tensor& scale(float alpha) noexcept;       ///< this *= alpha
+
+  /// Returns a tensor with identical data but a new shape of the same size.
+  [[nodiscard]] Tensor reshaped(Shape new_shape) const;
+
+  /// Strict equality of shape and all element bit patterns.
+  [[nodiscard]] bool equals(const Tensor& other) const noexcept;
+
+ private:
+  Shape shape_{};
+  std::vector<float> data_;
+};
+
+/// Returns max |a[i]-b[i]|; throws on shape mismatch.
+[[nodiscard]] float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Copies items [begin, end) along the outermost axis into a new tensor of
+/// shape {end-begin, rest...}. Used for mini-batch slicing.
+[[nodiscard]] Tensor slice_outer(const Tensor& t, std::size_t begin,
+                                 std::size_t end);
+
+/// Gathers the given outer-axis indices into a new tensor (batch shuffling).
+[[nodiscard]] Tensor gather_outer(const Tensor& t,
+                                  std::span<const std::size_t> indices);
+
+}  // namespace mfdfp::tensor

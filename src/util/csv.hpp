@@ -1,0 +1,40 @@
+// CSV emission for experiment artifacts (training curves, sweeps).
+//
+// Benches write machine-readable CSVs next to their console tables so curves
+// like Figure 3 can be re-plotted without re-running training.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfdfp::util {
+
+/// Buffered CSV writer with RFC-4180 quoting for cells that need it.
+class CsvWriter {
+ public:
+  /// Sets the column names; written as the first row.
+  explicit CsvWriter(std::vector<std::string> columns);
+
+  /// Appends a row of already-formatted cells; width must match columns.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Convenience: appends a row of doubles formatted with %g.
+  void add_row(const std::vector<double>& row);
+
+  /// Serializes header + rows.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes the CSV to `path`, overwriting. Returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes a CSV cell if it contains separators/quotes/newlines.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace mfdfp::util

@@ -1,0 +1,41 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mfdfp::util {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+[[nodiscard]] const char* tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) return;
+  std::fprintf(stderr, "[%s] %.*s\n", tag(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mfdfp::util

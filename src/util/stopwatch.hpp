@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for coarse timing of training/eval loops.
+//
+// Note: *reported* inference latency/energy in the benches comes from the
+// hw::CycleModel (deterministic), not from this wall clock; the stopwatch is
+// for progress logging only.
+#pragma once
+
+#include <chrono>
+
+namespace mfdfp::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mfdfp::util

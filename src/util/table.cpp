@@ -1,0 +1,78 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace mfdfp::util {
+
+void TablePrinter::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("TablePrinter: row width " +
+                                std::to_string(row.size()) +
+                                " != header width " +
+                                std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::to_string() const {
+  // Compute per-column widths over header and all rows.
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> width(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << '\n';
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string{};
+      const auto pad = width[c] - cell.size();
+      if (c == 0) {  // left-align label column
+        out << cell << std::string(pad, ' ');
+      } else {
+        out << std::string(pad, ' ') << cell;
+      }
+      out << (c + 1 == columns ? "" : "  ");
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns; ++c) total += width[c] + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print() const {
+  const std::string rendered = to_string();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string fmt_fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string fmt_percent(double ratio, int digits) {
+  return fmt_fixed(100.0 * ratio, digits);
+}
+
+}  // namespace mfdfp::util

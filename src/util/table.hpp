@@ -1,0 +1,46 @@
+// Console table rendering for benchmark output.
+//
+// Every bench binary reproduces one table/figure of the paper and prints it
+// in the same row/column layout; TablePrinter handles alignment so the bench
+// code stays declarative.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfdfp::util {
+
+/// Accumulates rows of strings and renders an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// `title` is printed above the table; may be empty.
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Column count is fixed by this call.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count if one was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table. Columns are left-aligned for the first column and
+  /// right-aligned for the rest (numeric convention).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `digits` digits after the decimal point.
+[[nodiscard]] std::string fmt_fixed(double value, int digits);
+
+/// Formats a ratio as a percentage string with `digits` decimals (no % sign).
+[[nodiscard]] std::string fmt_percent(double ratio, int digits = 2);
+
+}  // namespace mfdfp::util

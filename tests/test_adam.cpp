@@ -1,0 +1,102 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/trainer.hpp"
+#include "nn/zoo.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Param {
+  Tensor value{Shape{2}, {1.0f, -1.0f}};
+  Tensor grad{Shape{2}, {0.5f, -0.25f}};
+
+  [[nodiscard]] std::vector<ParamView> views() {
+    return {ParamView{&value, &grad, &value, "p"}};
+  }
+};
+
+TEST(Adam, FirstStepIsSignedLearningRate) {
+  // With bias correction, the first Adam step is ~ -lr * sign(g).
+  Param p;
+  AdamOptimizer opt({0.1f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  opt.step(p.views());
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f, 1e-4f);
+  EXPECT_NEAR(p.value[1], -1.0f + 0.1f, 1e-4f);
+}
+
+TEST(Adam, AdaptsToGradientScale) {
+  // Two parameters with gradients of very different magnitude receive
+  // near-equal step sizes (per-coordinate normalization).
+  Param p;
+  p.grad = Tensor{Shape{2}, {10.0f, 0.01f}};
+  AdamOptimizer opt({0.1f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  opt.step(p.views());
+  const float step0 = std::fabs(p.value[0] - 1.0f);
+  const float step1 = std::fabs(p.value[1] + 1.0f);
+  EXPECT_NEAR(step0, step1, 1e-3f);
+}
+
+TEST(Adam, WeightDecayIsDecoupled) {
+  Param p;
+  p.grad.zero();
+  AdamOptimizer opt({0.1f, 0.9f, 0.999f, 1e-8f, 0.5f});
+  opt.step(p.views());
+  // Zero gradient: only decay acts. w -= lr*wd*w.
+  EXPECT_NEAR(p.value[0], 1.0f - 0.1f * 0.5f, 1e-5f);
+}
+
+TEST(Adam, ResetStateRestartsBiasCorrection) {
+  Param p;
+  AdamOptimizer opt({0.1f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  opt.step(p.views());
+  const float after_first = p.value[0];
+  opt.reset_state();
+  Param q;
+  AdamOptimizer fresh({0.1f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  fresh.step(q.views());
+  opt.step(p.views());  // behaves like a first step again on same grads
+  EXPECT_NEAR(p.value[0] - after_first, q.value[0] - 1.0f, 1e-5f);
+}
+
+TEST(Adam, TrainsAsmallNetworkThroughTrainerLoop) {
+  // Adam plugged into the same training loop via a manual epoch: verify the
+  // loss decreases on a separable problem.
+  util::Rng rng{4};
+  ZooConfig config;
+  config.in_channels = 1;
+  config.in_h = config.in_w = 2;
+  config.num_classes = 2;
+  Network net = make_mlp(config, 4, rng);
+
+  Tensor images{Shape{32, 1, 2, 2}};
+  std::vector<int> labels(32);
+  for (std::size_t n = 0; n < 32; ++n) {
+    labels[n] = static_cast<int>(n % 2);
+    for (std::size_t i = 0; i < 4; ++i) {
+      images[n * 4 + i] =
+          (labels[n] == 0 ? -0.5f : 0.5f) + rng.uniform_f(-0.1f, 0.1f);
+    }
+  }
+
+  AdamOptimizer opt({1e-2f, 0.9f, 0.999f, 1e-8f, 0.0f});
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    const Tensor logits = net.forward(images, Mode::kTrain);
+    const LossResult loss = softmax_cross_entropy(logits, labels);
+    net.backward(loss.grad_logits);
+    opt.step(net.params());
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,159 @@
+// Integration tests of the Algorithm 1 pipeline on a small synthetic task.
+// These run real (short) trainings; seeds fixed for determinism.
+#include "core/converter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/metrics.hpp"
+#include "nn/zoo.hpp"
+
+namespace mfdfp::core {
+namespace {
+
+data::DatasetPair tiny_dataset() {
+  data::SyntheticSpec spec = data::cifar_like_spec();
+  spec.num_classes = 4;
+  spec.height = spec.width = 8;
+  spec.train_count = 160;
+  spec.test_count = 80;
+  spec.noise_stddev = 0.8f;
+  return data::make_synthetic(spec);
+}
+
+nn::Network tiny_float_net(const data::DatasetPair& ds, std::uint64_t seed,
+                           float* out_error = nullptr) {
+  util::Rng rng{seed};
+  nn::ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 8;
+  config.num_classes = ds.train.num_classes;
+  config.width_multiplier = 0.15f;
+  nn::Network net = nn::make_cifar10_net(config, rng);
+  FloatTrainConfig tc;
+  tc.max_epochs = 6;
+  tc.seed = seed;
+  const FloatTrainResult result =
+      train_float_network(net, ds.train, ds.test, tc);
+  if (out_error != nullptr) *out_error = result.final_val_error;
+  return net;
+}
+
+TEST(Converter, QuantizedNetworkStaysCloseToFloat) {
+  const data::DatasetPair ds = tiny_dataset();
+  float float_error = 1.0f;
+  const nn::Network float_net = tiny_float_net(ds, 1, &float_error);
+
+  ConverterConfig config;
+  config.phase1_epochs = 4;
+  config.phase2_epochs = 3;
+  MfDfpConverter converter(config);
+  const ConversionResult result = converter.convert(float_net, ds.train,
+                                                    ds.test);
+
+  EXPECT_NEAR(result.curves.float_error, float_error, 1e-6f);
+  // Paper's claim shape: converted accuracy within a few points of float.
+  EXPECT_LE(result.final_error, float_error + 0.10f);
+  EXPECT_EQ(result.curves.phase1_error.size(), 4u);
+  EXPECT_GE(result.curves.phase2_error.size(), 1u);
+}
+
+TEST(Converter, FineTuningImprovesOverPostTrainingQuantization) {
+  const data::DatasetPair ds = tiny_dataset();
+  nn::Network float_net = tiny_float_net(ds, 2);
+
+  // Post-training quantization only (no fine-tune): evaluate directly.
+  nn::Network ptq = float_net.clone();
+  const tensor::Tensor calibration =
+      tensor::slice_outer(ds.train.images, 0, 64);
+  const quant::QuantSpec spec = quant::quantize_network(ptq, calibration);
+  const tensor::Tensor qimages = quant::quantize_input(spec, ds.test.images);
+  const float ptq_error = static_cast<float>(
+      1.0 - nn::evaluate(ptq, qimages, ds.test.labels).top1);
+
+  ConverterConfig config;
+  config.phase1_epochs = 5;
+  config.phase2_epochs = 3;
+  MfDfpConverter converter(config);
+  const ConversionResult result =
+      converter.convert(float_net, ds.train, ds.test);
+  EXPECT_LE(result.final_error, ptq_error + 1e-6f);
+}
+
+TEST(Converter, LabelsOnlyVariantSkipsPhase2) {
+  const data::DatasetPair ds = tiny_dataset();
+  const nn::Network float_net = tiny_float_net(ds, 3);
+  ConverterConfig config;
+  config.phase1_epochs = 2;
+  config.phase2_epochs = 2;
+  MfDfpConverter converter(config);
+  const ConversionResult result =
+      converter.convert_labels_only(float_net, ds.train, ds.test);
+  EXPECT_EQ(result.curves.phase1_error.size(), 4u);  // 2 + 2 epochs
+  EXPECT_TRUE(result.curves.phase2_error.empty());
+}
+
+TEST(Converter, DeterministicGivenSeed) {
+  const data::DatasetPair ds = tiny_dataset();
+  const nn::Network float_net = tiny_float_net(ds, 4);
+  ConverterConfig config;
+  config.phase1_epochs = 2;
+  config.phase2_epochs = 1;
+  config.seed = 77;
+  MfDfpConverter converter(config);
+  const ConversionResult a = converter.convert(float_net, ds.train, ds.test);
+  const ConversionResult b = converter.convert(float_net, ds.train, ds.test);
+  EXPECT_EQ(a.final_error, b.final_error);
+  EXPECT_EQ(a.curves.phase1_error, b.curves.phase1_error);
+  EXPECT_EQ(a.curves.phase2_error, b.curves.phase2_error);
+}
+
+TEST(Converter, TeacherLogitsMatchTeacherForward) {
+  const data::DatasetPair ds = tiny_dataset();
+  nn::Network float_net = tiny_float_net(ds, 5);
+  const tensor::Tensor logits =
+      compute_logits(float_net, ds.test.images, 32);
+  EXPECT_EQ(logits.shape(),
+            (tensor::Shape{ds.test.size(), ds.test.num_classes}));
+  const tensor::Tensor direct = float_net.forward(
+      tensor::slice_outer(ds.test.images, 0, 4), nn::Mode::kEval);
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_FLOAT_EQ(logits[i], direct[i]);
+  }
+}
+
+TEST(Converter, RejectsZeroEpochConfig) {
+  ConverterConfig config;
+  config.phase1_epochs = 0;
+  config.phase2_epochs = 0;
+  MfDfpConverter converter(config);
+  const data::DatasetPair ds = tiny_dataset();
+  const nn::Network float_net = tiny_float_net(ds, 6);
+  EXPECT_THROW(converter.convert(float_net, ds.train, ds.test),
+               std::invalid_argument);
+}
+
+TEST(Converter, MasterWeightsRemainFloat) {
+  // The shadow float weights must keep accumulating fine gradient updates:
+  // after conversion they are NOT power-of-two (only effective ones are).
+  const data::DatasetPair ds = tiny_dataset();
+  const nn::Network float_net = tiny_float_net(ds, 7);
+  ConverterConfig config;
+  config.phase1_epochs = 2;
+  config.phase2_epochs = 1;
+  MfDfpConverter converter(config);
+  ConversionResult result = converter.convert(float_net, ds.train, ds.test);
+  const auto& weighted =
+      dynamic_cast<const nn::WeightedLayer&>(result.network.layer(0));
+  int non_pow2 = 0;
+  for (float w : weighted.master_weights().data()) {
+    const float log_mag = std::log2(std::fabs(w) + 1e-30f);
+    if (std::fabs(log_mag - std::round(log_mag)) > 1e-4f) ++non_pow2;
+  }
+  EXPECT_GT(non_pow2, 0);
+}
+
+}  // namespace
+}  // namespace mfdfp::core

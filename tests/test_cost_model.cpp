@@ -1,0 +1,122 @@
+#include "hw/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfdfp::hw {
+namespace {
+
+// Paper Table 1 synthesis results (65 nm, 250 MHz, typical corner).
+constexpr double kPaperFloatArea = 16.52;
+constexpr double kPaperFloatPower = 1361.61;
+constexpr double kPaperMfdfpArea = 1.99;
+constexpr double kPaperMfdfpPower = 138.96;
+constexpr double kPaperEnsembleArea = 3.96;
+constexpr double kPaperEnsemblePower = 270.27;
+
+constexpr double kTolerance = 0.01;  // 1 % calibration tolerance
+
+TEST(CostModel, Table1FloatBaseline) {
+  const CostBreakdown cost = cost_model(float_baseline_config());
+  EXPECT_NEAR(cost.total_area_mm2(), kPaperFloatArea,
+              kPaperFloatArea * kTolerance);
+  EXPECT_NEAR(cost.total_power_mw(), kPaperFloatPower,
+              kPaperFloatPower * kTolerance);
+}
+
+TEST(CostModel, Table1MfdfpSinglePu) {
+  const CostBreakdown cost = cost_model(mfdfp_config(1));
+  EXPECT_NEAR(cost.total_area_mm2(), kPaperMfdfpArea,
+              kPaperMfdfpArea * kTolerance);
+  EXPECT_NEAR(cost.total_power_mw(), kPaperMfdfpPower,
+              kPaperMfdfpPower * kTolerance);
+}
+
+TEST(CostModel, Table1EnsembleTwoPus) {
+  const CostBreakdown cost = cost_model(mfdfp_config(2));
+  EXPECT_NEAR(cost.total_area_mm2(), kPaperEnsembleArea,
+              kPaperEnsembleArea * kTolerance);
+  EXPECT_NEAR(cost.total_power_mw(), kPaperEnsemblePower,
+              kPaperEnsemblePower * kTolerance);
+}
+
+TEST(CostModel, Table1SavingsPercentages) {
+  const double fp_area = cost_model(float_baseline_config()).total_area_mm2();
+  const double fp_power =
+      cost_model(float_baseline_config()).total_power_mw();
+  const double mf_area = cost_model(mfdfp_config(1)).total_area_mm2();
+  const double mf_power = cost_model(mfdfp_config(1)).total_power_mw();
+  const double ens_area = cost_model(mfdfp_config(2)).total_area_mm2();
+  const double ens_power = cost_model(mfdfp_config(2)).total_power_mw();
+
+  // Paper: 87.97 / 89.79 (single) and 76.00 / 80.15 (ensemble) percent.
+  EXPECT_NEAR(100.0 * saving(fp_area, mf_area), 87.97, 1.0);
+  EXPECT_NEAR(100.0 * saving(fp_power, mf_power), 89.79, 1.0);
+  EXPECT_NEAR(100.0 * saving(fp_area, ens_area), 76.00, 1.0);
+  EXPECT_NEAR(100.0 * saving(fp_power, ens_power), 80.15, 1.0);
+}
+
+TEST(CostModel, AreaScalesWithProcessingUnits) {
+  double previous = 0.0;
+  for (std::size_t pus = 1; pus <= 4; ++pus) {
+    const double area = cost_model(mfdfp_config(pus)).total_area_mm2();
+    EXPECT_GT(area, previous);
+    previous = area;
+  }
+  // Marginal PU cost is constant (shared block amortized).
+  const double a1 = cost_model(mfdfp_config(1)).total_area_mm2();
+  const double a2 = cost_model(mfdfp_config(2)).total_area_mm2();
+  const double a3 = cost_model(mfdfp_config(3)).total_area_mm2();
+  EXPECT_NEAR(a2 - a1, a3 - a2, 1e-9);
+}
+
+TEST(CostModel, BufferWidthDrivesMemoryArea) {
+  // FP buffers are 4x (activations) / 8x (weights) wider -> much larger.
+  const CostBreakdown fp = cost_model(float_baseline_config());
+  const CostBreakdown mf = cost_model(mfdfp_config(1));
+  EXPECT_GT(fp.buffer_area_mm2, 5.0 * mf.buffer_area_mm2);
+}
+
+TEST(CostModel, ShiftersBeatMultipliers) {
+  const CostBreakdown fp = cost_model(float_baseline_config());
+  const CostBreakdown mf = cost_model(mfdfp_config(1));
+  EXPECT_GT(fp.multiplier_area_mm2, 10.0 * mf.multiplier_area_mm2);
+  EXPECT_GT(fp.multiplier_power_mw, 10.0 * mf.multiplier_power_mw);
+}
+
+TEST(CostModel, BiggerPuCostsMore) {
+  AcceleratorConfig wide = mfdfp_config(1);
+  wide.neurons_per_pu = 32;
+  EXPECT_GT(cost_model(wide).total_area_mm2(),
+            cost_model(mfdfp_config(1)).total_area_mm2());
+}
+
+TEST(CostModel, RejectsDegenerateConfigs) {
+  AcceleratorConfig config = mfdfp_config(1);
+  config.processing_units = 0;
+  EXPECT_THROW(cost_model(config), std::invalid_argument);
+  config = mfdfp_config(1);
+  config.synapses_per_neuron = 12;  // not a power of two
+  EXPECT_THROW(cost_model(config), std::invalid_argument);
+}
+
+TEST(CostModel, SavingHelper) {
+  EXPECT_DOUBLE_EQ(saving(10.0, 1.0), 0.9);
+  EXPECT_DOUBLE_EQ(saving(10.0, 10.0), 0.0);
+  EXPECT_THROW(saving(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(CostModel, ConfigDescribesItself) {
+  EXPECT_NE(float_baseline_config().to_string().find("Float"),
+            std::string::npos);
+  EXPECT_NE(mfdfp_config(2).to_string().find("x2PU"), std::string::npos);
+}
+
+TEST(CostModel, BufferBytesPerPrecision) {
+  EXPECT_EQ(mfdfp_config(1).buffer_bytes_per_pu(),
+            (2048u * 8 + 16384u * 4 + 2048u * 8) / 8);
+  EXPECT_EQ(float_baseline_config().buffer_bytes_per_pu(),
+            (2048u * 32 + 16384u * 32 + 2048u * 32) / 8);
+}
+
+}  // namespace
+}  // namespace mfdfp::hw

@@ -1,0 +1,121 @@
+#include "hw/cycle_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace mfdfp::hw {
+namespace {
+
+TEST(CycleModel, SingleConvLayerFormula) {
+  // 10x10 output, 32 channels, patch 75: 100 * ceil(32/16) * ceil(75/16)
+  // = 100 * 2 * 5 = 1000, + pipeline drain.
+  const std::vector<LayerWork> work{
+      {"conv", LayerWork::Kind::kConv, 100, 32, 75}};
+  const AcceleratorConfig mf = mfdfp_config(1);
+  const CycleReport report = count_cycles(work, mf);
+  EXPECT_EQ(report.total_cycles,
+            1000u + static_cast<std::uint64_t>(mf.pipeline_depth()));
+}
+
+TEST(CycleModel, FcLayerFormula) {
+  const std::vector<LayerWork> work{
+      {"fc", LayerWork::Kind::kFullyConnected, 1, 10, 1024}};
+  const AcceleratorConfig mf = mfdfp_config(1);
+  // ceil(10/16)=1, ceil(1024/16)=64.
+  EXPECT_EQ(count_cycles(work, mf).total_cycles,
+            64u + static_cast<std::uint64_t>(mf.pipeline_depth()));
+}
+
+TEST(CycleModel, FloatPipelineSlightlySlower) {
+  // Same schedule, deeper multiply pipeline: FP pays more drain per layer
+  // but the difference is tiny relative to total time (as in Table 2).
+  const auto work = paper_cifar10_workload();
+  const CycleReport mf = count_cycles(work, mfdfp_config(1));
+  const CycleReport fp = count_cycles(work, float_baseline_config());
+  EXPECT_GT(fp.total_cycles, mf.total_cycles);
+  const double relative =
+      static_cast<double>(fp.total_cycles - mf.total_cycles) /
+      static_cast<double>(fp.total_cycles);
+  EXPECT_LT(relative, 0.01);
+}
+
+TEST(CycleModel, PaperCifarTimeInRightRange) {
+  // Paper Table 2: 246.52 us at 250 MHz for the CIFAR-10 network. Our
+  // loop-nest model must land in the same range (we accept +-25% — the
+  // paper's exact pool/edge handling is not specified).
+  const auto work = paper_cifar10_workload();
+  const AcceleratorConfig mf = mfdfp_config(1);
+  const double us = count_cycles(work, mf).microseconds(mf);
+  EXPECT_GT(us, 246.27 * 0.75);
+  EXPECT_LT(us, 246.27 * 1.25);
+}
+
+TEST(CycleModel, PaperImagenetTimeInRightRange) {
+  // Paper: 15666 us. AlexNet grouping/stride details differ between
+  // implementations; accept a generous band but demand the right order of
+  // magnitude and the FP/MF time ratio ~1.
+  const auto work = paper_imagenet_workload();
+  const AcceleratorConfig mf = mfdfp_config(1);
+  const double us = count_cycles(work, mf).microseconds(mf);
+  EXPECT_GT(us, 15666.06 * 0.5);
+  EXPECT_LT(us, 15666.06 * 1.5);
+}
+
+TEST(CycleModel, EnergyIsPowerTimesTime) {
+  const auto work = paper_cifar10_workload();
+  const AcceleratorConfig mf = mfdfp_config(1);
+  const CycleReport cycles = count_cycles(work, mf);
+  const double expected = cost_model(mf).total_power_mw() *
+                          cycles.seconds(mf) * 1e3;
+  EXPECT_DOUBLE_EQ(energy_uj(cycles, mf), expected);
+}
+
+TEST(CycleModel, EnergySavingMatchesPaperShape) {
+  // Energy saving ~= power saving because times are nearly equal: ~89.8%
+  // single PU (Table 2).
+  const auto work = paper_cifar10_workload();
+  const AcceleratorConfig mf = mfdfp_config(1);
+  const AcceleratorConfig fp = float_baseline_config();
+  const double e_mf = energy_uj(count_cycles(work, mf), mf);
+  const double e_fp = energy_uj(count_cycles(work, fp), fp);
+  EXPECT_NEAR(100.0 * saving(e_fp, e_mf), 89.8, 1.5);
+}
+
+TEST(CycleModel, WorkloadFromQnetMatchesManualCount) {
+  util::Rng rng{1};
+  nn::ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 16;
+  config.num_classes = 10;
+  config.width_multiplier = 0.25f;
+  nn::Network net = nn::make_cifar10_net(config, rng);
+  tensor::Tensor calibration{tensor::Shape{2, 3, 16, 16}};
+  calibration.fill_uniform(rng, -1.0f, 1.0f);
+  const quant::QuantSpec spec = quant::quantize_network(net, calibration);
+  const QNetDesc desc = extract_qnet(net, spec);
+
+  const auto work = workload_from_qnet(desc, 3, 16, 16);
+  // conv + pool + relu + conv + relu + pool + conv + relu + pool + fc
+  // (flatten contributes no work).
+  ASSERT_EQ(work.size(), 10u);
+  EXPECT_EQ(work[0].kind, LayerWork::Kind::kConv);
+  EXPECT_EQ(work[0].output_pixels, 256u);
+  EXPECT_EQ(work[0].patch, 75u);
+  // MACs of conv1: 256 * 8ch * 75.
+  EXPECT_EQ(work[0].macs(), 256u * 8 * 75);
+  EXPECT_EQ(work.back().kind, LayerWork::Kind::kFullyConnected);
+}
+
+TEST(CycleModel, MoreSynapsesFewerCycles) {
+  const std::vector<LayerWork> work{
+      {"conv", LayerWork::Kind::kConv, 100, 32, 160}};
+  AcceleratorConfig narrow = mfdfp_config(1);
+  AcceleratorConfig wide = mfdfp_config(1);
+  wide.synapses_per_neuron = 32;
+  EXPECT_LT(count_cycles(work, wide).total_cycles,
+            count_cycles(work, narrow).total_cycles);
+}
+
+}  // namespace
+}  // namespace mfdfp::hw

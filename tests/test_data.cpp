@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/cifar10_loader.hpp"
+#include "data/synthetic.hpp"
+
+namespace mfdfp::data {
+namespace {
+
+TEST(Dataset, ValidateCatchesInconsistencies) {
+  Dataset ds;
+  ds.name = "t";
+  ds.images = Tensor{Shape{2, 1, 2, 2}};
+  ds.labels = {0};
+  ds.num_classes = 2;
+  EXPECT_THROW(ds.validate(), std::logic_error);
+  ds.labels = {0, 2};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+  ds.labels = {0, 1};
+  EXPECT_NO_THROW(ds.validate());
+  ds.num_classes = 0;
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(Dataset, SubsetSlices) {
+  Dataset ds;
+  ds.images = Tensor{Shape{4, 1, 1, 1}, {0, 1, 2, 3}};
+  ds.labels = {0, 1, 0, 1};
+  ds.num_classes = 2;
+  const Dataset sub = subset(ds, 1, 3);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.images[0], 1.0f);
+  EXPECT_EQ(sub.labels[1], 0);
+  EXPECT_THROW(subset(ds, 3, 3), std::out_of_range);
+}
+
+TEST(Dataset, ShuffleKeepsPairsTogether) {
+  Dataset ds;
+  ds.images = Tensor{Shape{8, 1, 1, 1}};
+  ds.labels.resize(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    ds.images[i] = static_cast<float>(i);
+    ds.labels[i] = static_cast<int>(i % 4);
+  }
+  ds.num_classes = 4;
+  util::Rng rng{1};
+  shuffle_in_place(ds, rng);
+  // Pixel value encodes original index; label must still match.
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto original = static_cast<std::size_t>(ds.images[i]);
+    EXPECT_EQ(ds.labels[i], static_cast<int>(original % 4));
+  }
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const SyntheticSpec spec = cifar_like_spec();
+  SyntheticSpec small = spec;
+  small.train_count = 40;
+  small.test_count = 20;
+  const DatasetPair a = make_synthetic(small);
+  const DatasetPair b = make_synthetic(small);
+  EXPECT_TRUE(a.train.images.equals(b.train.images));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+  EXPECT_TRUE(a.test.images.equals(b.test.images));
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec spec = cifar_like_spec();
+  spec.train_count = 40;
+  spec.test_count = 20;
+  const DatasetPair a = make_synthetic(spec);
+  spec.seed ^= 0x1234;
+  const DatasetPair b = make_synthetic(spec);
+  EXPECT_FALSE(a.train.images.equals(b.train.images));
+}
+
+TEST(Synthetic, BalancedClasses) {
+  SyntheticSpec spec = cifar_like_spec();
+  spec.train_count = 100;
+  spec.test_count = 50;
+  const DatasetPair pair = make_synthetic(spec);
+  const auto histogram = class_histogram(pair.train);
+  ASSERT_EQ(histogram.size(), spec.num_classes);
+  for (std::size_t count : histogram) EXPECT_EQ(count, 10u);
+}
+
+TEST(Synthetic, ValuesClampedToUnitRange) {
+  SyntheticSpec spec = imagenet_like_spec();
+  spec.train_count = 20;
+  spec.test_count = 20;
+  const DatasetPair pair = make_synthetic(spec);
+  EXPECT_LE(pair.train.images.max(), 1.0f);
+  EXPECT_GE(pair.train.images.min(), -1.0f);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Same-class samples must be closer (on average) than cross-class samples
+  // — the generator's core property; without it no training signal exists.
+  SyntheticSpec spec = cifar_like_spec();
+  spec.train_count = 100;
+  spec.test_count = 20;
+  spec.noise_stddev = 0.3f;  // low noise for a crisp check
+  const DatasetPair pair = make_synthetic(spec);
+  const auto& ds = pair.train;
+  const std::size_t item = ds.images.size() / ds.size();
+
+  auto distance = [&](std::size_t a, std::size_t b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < item; ++i) {
+      const double d = ds.images[a * item + i] - ds.images[b * item + i];
+      acc += d * d;
+    }
+    return acc;
+  };
+  double same = 0.0, cross = 0.0;
+  std::size_t same_n = 0, cross_n = 0;
+  for (std::size_t a = 0; a < 40; ++a) {
+    for (std::size_t b = a + 1; b < 40; ++b) {
+      if (ds.labels[a] == ds.labels[b]) {
+        same += distance(a, b);
+        ++same_n;
+      } else {
+        cross += distance(a, b);
+        ++cross_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(cross_n, 0u);
+  EXPECT_LT(same / same_n, cross / cross_n);
+}
+
+TEST(Synthetic, RejectsEmptySpec) {
+  SyntheticSpec spec;
+  spec.num_classes = 0;
+  EXPECT_THROW(make_synthetic(spec), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- CIFAR-10 bin
+
+void write_fake_batch(const std::string& path, std::size_t records) {
+  std::ofstream file(path, std::ios::binary);
+  for (std::size_t r = 0; r < records; ++r) {
+    const unsigned char label = static_cast<unsigned char>(r % 10);
+    file.put(static_cast<char>(label));
+    for (std::size_t i = 0; i < 3072; ++i) {
+      file.put(static_cast<char>((r + i) % 256));
+    }
+  }
+}
+
+TEST(Cifar10Loader, ParsesBinaryFormat) {
+  const auto dir = std::filesystem::temp_directory_path() / "mfdfp_cifar";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "batch.bin").string();
+  write_fake_batch(path, 3);
+
+  const Dataset ds = load_cifar10_batch(path);
+  EXPECT_EQ(ds.size(), 3u);
+  EXPECT_EQ(ds.num_classes, 10u);
+  EXPECT_EQ(ds.labels[2], 2);
+  // Pixel 0 of record 0 has byte 0 -> (0/255 - 0.5)*2 = -1.
+  EXPECT_FLOAT_EQ(ds.images[0], -1.0f);
+  // Byte 255 maps to +1.
+  EXPECT_FLOAT_EQ(ds.images[255], 1.0f);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cifar10Loader, RejectsTruncatedFile) {
+  const auto dir = std::filesystem::temp_directory_path() / "mfdfp_cifar2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "bad.bin").string();
+  std::ofstream(path, std::ios::binary).write("abc", 3);
+  EXPECT_THROW(load_cifar10_batch(path), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cifar10Loader, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(load_cifar10("/nonexistent/cifar/dir").has_value());
+}
+
+TEST(Cifar10Loader, FullSplitAssembly) {
+  const auto dir = std::filesystem::temp_directory_path() / "mfdfp_cifar3";
+  std::filesystem::create_directories(dir);
+  for (int i = 1; i <= 5; ++i) {
+    write_fake_batch(
+        (dir / ("data_batch_" + std::to_string(i) + ".bin")).string(), 2);
+  }
+  write_fake_batch((dir / "test_batch.bin").string(), 2);
+  const auto pair = load_cifar10(dir.string());
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->train.size(), 10u);
+  EXPECT_EQ(pair->test.size(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mfdfp::data

@@ -1,0 +1,148 @@
+#include "hw/datapath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/dfp.hpp"
+#include "util/rng.hpp"
+
+namespace mfdfp::hw {
+namespace {
+
+using quant::DfpFormat;
+using quant::Pow2Weight;
+
+TEST(SynapseProduct, MatchesRealArithmetic) {
+  // product (units 2^-(m+7)) must equal x_code * 2^(7+e).
+  for (int e = quant::kPow2MinExp; e <= quant::kPow2MaxExp; ++e) {
+    for (std::int32_t x : {-128, -37, -1, 0, 1, 100, 127}) {
+      for (bool negative : {false, true}) {
+        const Pow2Weight w{negative, e};
+        const std::int64_t p = synapse_product(x, w);
+        const std::int64_t expected =
+            (negative ? -1 : 1) * (static_cast<std::int64_t>(x) << (7 + e));
+        EXPECT_EQ(p, expected);
+        // Value check: p * 2^-(m+7) == (x * 2^-m) * w.value() for any m.
+        const double value = std::ldexp(static_cast<double>(p), -7);
+        EXPECT_DOUBLE_EQ(value, static_cast<double>(x) * w.value());
+      }
+    }
+  }
+}
+
+TEST(SynapseProduct, FitsSixteenBitWire) {
+  // Worst case: x = -128, e = 0 -> -16384; always within 16 bits.
+  EXPECT_NO_THROW(synapse_product(-128, Pow2Weight{false, 0}));
+  EXPECT_NO_THROW(synapse_product(-128, Pow2Weight{true, 0}));
+  EXPECT_NO_THROW(synapse_product(127, Pow2Weight{true, 0}));
+}
+
+TEST(SynapseProduct, RejectsBadInputs) {
+  EXPECT_THROW(synapse_product(200, Pow2Weight{false, 0}), std::logic_error);
+  EXPECT_THROW(synapse_product(1, Pow2Weight{false, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(synapse_product(1, Pow2Weight{false, -8}),
+               std::invalid_argument);
+}
+
+TEST(AdderTree, SumsUpToSixteenLanes) {
+  util::Rng rng{1};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t lanes = 1 + rng.uniform_u64(16);
+    std::vector<std::int64_t> products(lanes);
+    std::int64_t expected = 0;
+    for (auto& p : products) {
+      p = rng.uniform_int(-16384, 16383);
+      expected += p;
+    }
+    EXPECT_EQ(adder_tree(products), expected);
+  }
+}
+
+TEST(AdderTree, RejectsTooManyLanes) {
+  std::vector<std::int64_t> products(17, 0);
+  EXPECT_THROW(adder_tree(products), std::invalid_argument);
+}
+
+TEST(AdderTree, WorstCaseFitsTwentyBits) {
+  // 16 x (-16384) = -262144 needs exactly 19 bits + sign: must not throw.
+  std::vector<std::int64_t> products(16, -16384);
+  EXPECT_EQ(adder_tree(products), -262144);
+  std::vector<std::int64_t> positive(16, 16383);
+  EXPECT_EQ(adder_tree(positive), 16 * 16383);
+}
+
+TEST(AdderTree, RejectsOverwideInputs) {
+  std::vector<std::int64_t> products(2, 40000);  // > 16-bit input wire
+  EXPECT_THROW(adder_tree(products), std::logic_error);
+}
+
+TEST(Routing, MatchesDfpEncodeSemantics) {
+  // Property: for random accumulations, routing must produce exactly the
+  // 8-bit code DfpFormat::encode gives for the real-valued sum.
+  util::Rng rng{2};
+  for (int trial = 0; trial < 2000; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(-2, 10));
+    const int n = static_cast<int>(rng.uniform_int(-2, 12));
+    const auto bias_code = static_cast<std::int32_t>(
+        rng.uniform_int(-128, 127));
+    AccumulatorRouting acc(m, n, bias_code);
+    double real_sum = 0.0;
+    const int tiles = 1 + static_cast<int>(rng.uniform_u64(4));
+    for (int t = 0; t < tiles; ++t) {
+      const std::int64_t tile = rng.uniform_int(-200000, 200000);
+      acc.accumulate(tile);
+      real_sum += std::ldexp(static_cast<double>(tile), -(m + 7));
+    }
+    real_sum += std::ldexp(static_cast<double>(bias_code), -n);
+
+    const std::int32_t code = acc.route();
+    const DfpFormat format{8, n};
+    EXPECT_EQ(code, format.encode(static_cast<float>(real_sum)))
+        << "m=" << m << " n=" << n << " bias=" << bias_code;
+  }
+}
+
+TEST(Routing, ReluClampsBeforeRounding) {
+  AccumulatorRouting acc(0, 0, 0);
+  acc.accumulate(-1000);  // negative sum
+  EXPECT_EQ(acc.route(true), 0);
+  EXPECT_LT(acc.route(false), 0);
+}
+
+TEST(Routing, SaturatesToEightBits) {
+  AccumulatorRouting acc(0, 7, 0);  // huge upscale: 2^7 per unit of 2^-7
+  acc.accumulate(1 << 14);
+  EXPECT_EQ(acc.route(), 127);
+  AccumulatorRouting neg(0, 7, 0);
+  neg.accumulate(-(1 << 14));
+  EXPECT_EQ(neg.route(), -128);
+}
+
+TEST(ConvertCode, MatchesDecodeEncodeRoundTrip) {
+  // Property over all codes and format pairs in the practical range.
+  for (int from = -2; from <= 10; ++from) {
+    for (int to = -2; to <= 10; ++to) {
+      const DfpFormat from_format{8, from};
+      const DfpFormat to_format{8, to};
+      for (std::int32_t code = -128; code <= 127; code += 5) {
+        const float value = from_format.decode(code);
+        EXPECT_EQ(convert_code(code, from, to), to_format.encode(value))
+            << "from=" << from << " to=" << to << " code=" << code;
+      }
+    }
+  }
+}
+
+TEST(FloatNeuron, DotProduct) {
+  const std::vector<float> inputs{1.0f, 2.0f, 3.0f};
+  const std::vector<float> weights{0.5f, -1.0f, 2.0f};
+  EXPECT_FLOAT_EQ(float_neuron(inputs, weights, 0.25f),
+                  0.25f + 0.5f - 2.0f + 6.0f);
+  const std::vector<float> short_w{1.0f};
+  EXPECT_THROW(float_neuron(inputs, short_w, 0.0f), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::hw

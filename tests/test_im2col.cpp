@@ -1,0 +1,127 @@
+#include "tensor/im2col.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mfdfp::tensor {
+namespace {
+
+TEST(ConvGeometry, OutputDims) {
+  ConvGeometry g{3, 8, 8, 3, 3, 1, 1};
+  EXPECT_EQ(g.out_h(), 8u);
+  EXPECT_EQ(g.out_w(), 8u);
+  EXPECT_EQ(g.patch_size(), 27u);
+  g.stride = 2;
+  g.pad = 0;
+  EXPECT_EQ(g.out_h(), 3u);
+}
+
+TEST(ConvGeometry, Validity) {
+  EXPECT_TRUE((ConvGeometry{1, 4, 4, 2, 2, 1, 0}).valid());
+  EXPECT_FALSE((ConvGeometry{1, 2, 2, 5, 5, 1, 0}).valid());  // kernel > in
+  EXPECT_TRUE((ConvGeometry{1, 2, 2, 5, 5, 1, 2}).valid());   // pad fixes it
+  EXPECT_FALSE((ConvGeometry{0, 4, 4, 2, 2, 1, 0}).valid());
+  EXPECT_FALSE((ConvGeometry{1, 4, 4, 2, 2, 0, 0}).valid());
+}
+
+TEST(Im2Col, IdentityKernelExtractsPixels) {
+  // 1x1 kernel: columns are exactly the flattened image.
+  Tensor input{Shape{1, 2, 3, 3}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  const ConvGeometry g{2, 3, 3, 1, 1, 1, 0};
+  Tensor columns{Shape{2, 9}};
+  im2col(input, 0, g, columns);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_EQ(columns[i], input[i]);
+  }
+}
+
+TEST(Im2Col, PaddingProducesZeros) {
+  Tensor input{Shape{1, 1, 2, 2}, {1, 2, 3, 4}};
+  const ConvGeometry g{1, 2, 2, 3, 3, 1, 1};
+  Tensor columns{Shape{9, 4}};
+  im2col(input, 0, g, columns);
+  // Top-left output position: kernel centered at (0,0) -> the (0,0) tap is
+  // padding except the bottom-right 2x2 region.
+  EXPECT_EQ(columns.at2(0, 0), 0.0f);  // tap (-1,-1)
+  EXPECT_EQ(columns.at2(4, 0), 1.0f);  // center tap = pixel (0,0)
+  EXPECT_EQ(columns.at2(8, 0), 4.0f);  // tap (1,1)
+}
+
+TEST(Im2Col, ShapeMismatchThrows) {
+  Tensor input{Shape{1, 1, 4, 4}};
+  const ConvGeometry g{1, 4, 4, 2, 2, 2, 0};
+  Tensor wrong{Shape{4, 3}};
+  EXPECT_THROW(im2col(input, 0, g, wrong), std::invalid_argument);
+}
+
+TEST(Col2Im, AdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> for random x, y (exact adjoint pair).
+  util::Rng rng{99};
+  const ConvGeometry g{2, 5, 6, 3, 3, 2, 1};
+  Tensor x{Shape{1, 2, 5, 6}};
+  x.fill_normal(rng, 0.0f, 1.0f);
+  Tensor cols{Shape{g.patch_size(), g.out_h() * g.out_w()}};
+  im2col(x, 0, g, cols);
+
+  Tensor y{cols.shape()};
+  y.fill_normal(rng, 0.0f, 1.0f);
+  Tensor back{x.shape()};
+  col2im(y, 0, g, back);
+
+  double lhs = 0.0, rhs = 0.0;
+  for (std::size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(Matmul, SmallKnownProduct) {
+  const Tensor a{Shape{2, 3}, {1, 2, 3, 4, 5, 6}};
+  const Tensor b{Shape{3, 2}, {7, 8, 9, 10, 11, 12}};
+  Tensor c{Shape{2, 2}};
+  matmul(a, b, c);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 154.0f);
+}
+
+TEST(Matmul, VariantsAgree) {
+  util::Rng rng{5};
+  Tensor a{Shape{4, 6}}, b{Shape{6, 5}};
+  a.fill_normal(rng, 0.0f, 1.0f);
+  b.fill_normal(rng, 0.0f, 1.0f);
+  Tensor c{Shape{4, 5}};
+  matmul(a, b, c);
+
+  // A^T path: at {6,4} transposed equals a.
+  Tensor at{Shape{6, 4}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) at.at2(j, i) = a.at2(i, j);
+  }
+  Tensor c_tn{Shape{4, 5}};
+  matmul_tn(at, b, c_tn);
+  EXPECT_LT(max_abs_diff(c, c_tn), 1e-5f);
+
+  // B^T path.
+  Tensor bt{Shape{5, 6}};
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) bt.at2(j, i) = b.at2(i, j);
+  }
+  Tensor c_nt{Shape{4, 5}};
+  matmul_nt(a, bt, c_nt);
+  EXPECT_LT(max_abs_diff(c, c_nt), 1e-5f);
+}
+
+TEST(Matmul, ShapeChecks) {
+  Tensor a{Shape{2, 3}}, b{Shape{4, 2}}, c{Shape{2, 2}};
+  EXPECT_THROW(matmul(a, b, c), std::invalid_argument);
+  Tensor b_ok{Shape{3, 2}}, c_bad{Shape{3, 2}};
+  EXPECT_THROW(matmul(a, b_ok, c_bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::tensor

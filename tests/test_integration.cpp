@@ -1,0 +1,145 @@
+// End-to-end pipeline test: data -> float training -> Algorithm 1 ->
+// deployment image -> bit-accurate accelerator execution -> hardware
+// metrics. Exercises every module together the way the benches do.
+#include <gtest/gtest.h>
+
+#include "core/converter.hpp"
+#include "core/ensemble.hpp"
+#include "data/synthetic.hpp"
+#include "hw/cycle_model.hpp"
+#include "hw/executor.hpp"
+#include "nn/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "nn/zoo.hpp"
+#include "quant/memory.hpp"
+
+namespace mfdfp {
+namespace {
+
+struct Pipeline {
+  data::DatasetPair dataset;
+  nn::Network float_net;
+  core::ConversionResult converted;
+
+  Pipeline() {
+    data::SyntheticSpec spec = data::cifar_like_spec();
+    spec.num_classes = 5;
+    spec.train_count = 200;
+    spec.test_count = 100;
+    spec.noise_stddev = 0.9f;
+    dataset = data::make_synthetic(spec);
+
+    util::Rng rng{11};
+    nn::ZooConfig zoo;
+    zoo.in_channels = 3;
+    zoo.in_h = zoo.in_w = 16;
+    zoo.num_classes = 5;
+    zoo.width_multiplier = 0.2f;
+    float_net = nn::make_cifar10_net(zoo, rng);
+    core::FloatTrainConfig tc;
+    tc.max_epochs = 6;
+    core::train_float_network(float_net, dataset.train, dataset.test, tc);
+
+    core::ConverterConfig cc;
+    cc.phase1_epochs = 3;
+    cc.phase2_epochs = 2;
+    core::MfDfpConverter converter(cc);
+    converted = converter.convert(float_net, dataset.train, dataset.test);
+  }
+};
+
+Pipeline& pipeline() {
+  static Pipeline instance;
+  return instance;
+}
+
+TEST(Integration, FloatBaselineLearns) {
+  Pipeline& p = pipeline();
+  EXPECT_LT(p.converted.curves.float_error, 0.5f);
+}
+
+TEST(Integration, QuantizedAccuracyNearFloat) {
+  Pipeline& p = pipeline();
+  EXPECT_LE(p.converted.final_error,
+            p.converted.curves.float_error + 0.08f);
+}
+
+TEST(Integration, AcceleratorBitExactOnTestSet) {
+  Pipeline& p = pipeline();
+  const hw::QNetDesc desc =
+      hw::extract_qnet(p.converted.network, p.converted.spec);
+  const hw::AcceleratorExecutor executor(desc);
+  const tensor::Tensor sample =
+      tensor::slice_outer(p.dataset.test.images, 0, 50);
+  const tensor::Tensor hw_logits = executor.run(sample);
+  const tensor::Tensor sw_logits = p.converted.network.forward(
+      quant::quantize_input(p.converted.spec, sample), nn::Mode::kEval);
+  EXPECT_EQ(tensor::max_abs_diff(hw_logits, sw_logits), 0.0f);
+}
+
+TEST(Integration, HardwareMetricsFollowPaperShape) {
+  Pipeline& p = pipeline();
+  const hw::QNetDesc desc =
+      hw::extract_qnet(p.converted.network, p.converted.spec);
+  const auto work = hw::workload_from_qnet(desc, 3, 16, 16);
+
+  const hw::AcceleratorConfig mf = hw::mfdfp_config(1);
+  const hw::AcceleratorConfig fp = hw::float_baseline_config();
+  const double e_mf = hw::energy_uj(hw::count_cycles(work, mf), mf);
+  const double e_fp = hw::energy_uj(hw::count_cycles(work, fp), fp);
+  // ~90% energy saving, times nearly equal.
+  EXPECT_NEAR(hw::saving(e_fp, e_mf), 0.898, 0.02);
+  // Times nearly equal; this reduced-scale net has few cycles per layer,
+  // so the FP pipeline-drain overhead is relatively larger than on the
+  // paper-scale nets (where it is ~0.1%).
+  const double t_mf = hw::count_cycles(work, mf).microseconds(mf);
+  const double t_fp = hw::count_cycles(work, fp).microseconds(fp);
+  EXPECT_NEAR(t_mf / t_fp, 1.0, 0.05);
+}
+
+TEST(Integration, MemoryCompressionNearEightX) {
+  Pipeline& p = pipeline();
+  const quant::MemoryReport report =
+      quant::memory_report(p.converted.network);
+  EXPECT_GT(report.compression(), 7.0);
+}
+
+TEST(Integration, ConvertedNetworkSurvivesSerialization) {
+  Pipeline& p = pipeline();
+  // Serialize master weights, rebuild an identical architecture, reinstall
+  // quantization with the saved spec: outputs must match bit-for-bit.
+  const std::string bytes = nn::weights_to_bytes(p.converted.network);
+  util::Rng rng{11};  // same seed as Pipeline -> same architecture
+  nn::ZooConfig zoo;
+  zoo.in_channels = 3;
+  zoo.in_h = zoo.in_w = 16;
+  zoo.num_classes = 5;
+  zoo.width_multiplier = 0.2f;
+  nn::Network reloaded = nn::make_cifar10_net(zoo, rng);
+  nn::weights_from_bytes(reloaded, bytes);
+  quant::install_mf_dfp(reloaded, p.converted.spec);
+
+  const tensor::Tensor sample = quant::quantize_input(
+      p.converted.spec, tensor::slice_outer(p.dataset.test.images, 0, 20));
+  const tensor::Tensor a =
+      p.converted.network.forward(sample, nn::Mode::kEval);
+  const tensor::Tensor b = reloaded.forward(sample, nn::Mode::kEval);
+  EXPECT_EQ(tensor::max_abs_diff(a, b), 0.0f);
+}
+
+TEST(Integration, EnsembleEvaluatesOnAcceleratorPath) {
+  Pipeline& p = pipeline();
+  // Two executors over the same member (degenerate ensemble): averaged
+  // logits must equal the single member's logits exactly.
+  const hw::QNetDesc desc =
+      hw::extract_qnet(p.converted.network, p.converted.spec);
+  const hw::AcceleratorExecutor a(desc), b(desc);
+  const tensor::Tensor sample =
+      tensor::slice_outer(p.dataset.test.images, 0, 10);
+  const std::vector<const hw::AcceleratorExecutor*> members{&a, &b};
+  const tensor::Tensor ens = hw::run_ensemble(members, sample);
+  EXPECT_EQ(tensor::max_abs_diff(ens, a.run(sample)), 0.0f);
+}
+
+}  // namespace
+}  // namespace mfdfp

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/fully_connected.hpp"
+#include "nn/pooling.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Naive direct convolution reference.
+Tensor naive_conv(const Tensor& input, const Tensor& weights,
+                  const Tensor& bias, const Conv2D::Config& config) {
+  const std::size_t batch = input.shape().n();
+  const std::size_t ih = input.shape().h(), iw = input.shape().w();
+  const std::size_t oh = (ih + 2 * config.pad - config.kernel) /
+                             config.stride + 1;
+  const std::size_t ow = (iw + 2 * config.pad - config.kernel) /
+                             config.stride + 1;
+  Tensor out{Shape{batch, config.out_channels, oh, ow}};
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t oc = 0; oc < config.out_channels; ++oc) {
+      for (std::size_t y = 0; y < oh; ++y) {
+        for (std::size_t x = 0; x < ow; ++x) {
+          double acc = bias[oc];
+          std::size_t widx = oc * config.in_channels * config.kernel *
+                             config.kernel;
+          for (std::size_t c = 0; c < config.in_channels; ++c) {
+            for (std::size_t ky = 0; ky < config.kernel; ++ky) {
+              for (std::size_t kx = 0; kx < config.kernel; ++kx, ++widx) {
+                const auto iy = static_cast<std::ptrdiff_t>(
+                                    y * config.stride + ky) -
+                                static_cast<std::ptrdiff_t>(config.pad);
+                const auto ix = static_cast<std::ptrdiff_t>(
+                                    x * config.stride + kx) -
+                                static_cast<std::ptrdiff_t>(config.pad);
+                if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(ih) ||
+                    ix < 0 || ix >= static_cast<std::ptrdiff_t>(iw)) {
+                  continue;
+                }
+                acc += weights[widx] *
+                       input.at(n, c, static_cast<std::size_t>(iy),
+                                static_cast<std::size_t>(ix));
+              }
+            }
+          }
+          out.at(n, oc, y, x) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Conv2D, MatchesNaiveReference) {
+  util::Rng rng{1};
+  const Conv2D::Config config{3, 5, 3, 2, 1};
+  Conv2D conv(config, rng);
+  Tensor input{Shape{2, 3, 7, 6}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  conv.master_bias().fill_uniform(rng, -0.5f, 0.5f);
+
+  const Tensor out = conv.forward(input, Mode::kEval);
+  const Tensor ref = naive_conv(input, conv.master_weights(),
+                                conv.master_bias(), config);
+  EXPECT_EQ(out.shape(), ref.shape());
+  EXPECT_LT(tensor::max_abs_diff(out, ref), 1e-4f);
+}
+
+TEST(Conv2D, OutputShapeInference) {
+  util::Rng rng{2};
+  Conv2D conv({3, 8, 5, 1, 2}, rng);
+  EXPECT_EQ(conv.output_shape(Shape{4, 3, 16, 16}),
+            (Shape{4, 8, 16, 16}));
+  EXPECT_THROW(conv.output_shape(Shape{4, 2, 16, 16}),
+               std::invalid_argument);
+  EXPECT_THROW(conv.output_shape(Shape{4, 3}), std::invalid_argument);
+}
+
+TEST(Conv2D, BackwardRequiresForward) {
+  util::Rng rng{3};
+  Conv2D conv({1, 1, 3, 1, 1}, rng);
+  Tensor grad{Shape{1, 1, 4, 4}};
+  EXPECT_THROW(conv.backward(grad), std::logic_error);
+}
+
+TEST(Conv2D, RejectsBadConfig) {
+  util::Rng rng{4};
+  EXPECT_THROW(Conv2D({0, 1, 3, 1, 0}, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2D({1, 0, 3, 1, 0}, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2D({1, 1, 3, 0, 0}, rng), std::invalid_argument);
+}
+
+TEST(FullyConnected, KnownProduct) {
+  util::Rng rng{5};
+  FullyConnected fc({3, 2}, rng);
+  fc.master_weights() = Tensor{Shape{2, 3}, {1, 0, -1, 2, 1, 0}};
+  fc.master_bias() = Tensor{Shape{2}, {0.5f, -0.5f}};
+  const Tensor input{Shape{1, 3}, {3, 4, 5}};
+  const Tensor out = fc.forward(input, Mode::kEval);
+  EXPECT_FLOAT_EQ(out[0], 3 - 5 + 0.5f);
+  EXPECT_FLOAT_EQ(out[1], 6 + 4 - 0.5f);
+}
+
+TEST(FullyConnected, ShapeChecks) {
+  util::Rng rng{6};
+  FullyConnected fc({4, 3}, rng);
+  EXPECT_EQ(fc.output_shape(Shape{2, 4}), (Shape{2, 3}));
+  EXPECT_THROW(fc.output_shape(Shape{2, 5}), std::invalid_argument);
+  Tensor bad{Shape{2, 5}};
+  EXPECT_THROW(fc.forward(bad, Mode::kEval), std::invalid_argument);
+}
+
+TEST(ReLU, ClampsNegatives) {
+  ReLU relu;
+  const Tensor input{Shape{5}, {-2, -0.5f, 0, 0.5f, 2}};
+  const Tensor out = relu.forward(input, Mode::kEval);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 0.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.5f);
+  EXPECT_FLOAT_EQ(out[4], 2.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU relu;
+  const Tensor input{Shape{4}, {-1, 1, -2, 2}};
+  relu.forward(input, Mode::kTrain);
+  const Tensor grad{Shape{4}, {10, 20, 30, 40}};
+  const Tensor gin = relu.backward(grad);
+  EXPECT_FLOAT_EQ(gin[0], 0.0f);
+  EXPECT_FLOAT_EQ(gin[1], 20.0f);
+  EXPECT_FLOAT_EQ(gin[2], 0.0f);
+  EXPECT_FLOAT_EQ(gin[3], 40.0f);
+}
+
+TEST(Tanh, ForwardAndBackward) {
+  Tanh tanh_layer;
+  const Tensor input{Shape{2}, {0.0f, 100.0f}};
+  const Tensor out = tanh_layer.forward(input, Mode::kTrain);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[1], 1.0f, 1e-6f);
+  const Tensor grad{Shape{2}, {1.0f, 1.0f}};
+  const Tensor gin = tanh_layer.backward(grad);
+  EXPECT_FLOAT_EQ(gin[0], 1.0f);       // 1 - tanh(0)^2
+  EXPECT_NEAR(gin[1], 0.0f, 1e-6f);    // saturated
+}
+
+TEST(MaxPool2D, SelectsWindowMax) {
+  MaxPool2D pool({2, 2, 0});
+  Tensor input{Shape{1, 1, 4, 4}};
+  for (std::size_t i = 0; i < 16; ++i) input[i] = static_cast<float>(i);
+  const Tensor out = pool.forward(input, Mode::kEval);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0], 5.0f);
+  EXPECT_FLOAT_EQ(out[1], 7.0f);
+  EXPECT_FLOAT_EQ(out[2], 13.0f);
+  EXPECT_FLOAT_EQ(out[3], 15.0f);
+}
+
+TEST(MaxPool2D, OverlappingWindows) {
+  MaxPool2D pool({3, 2, 0});
+  Tensor input{Shape{1, 1, 5, 5}};
+  input.at(0, 0, 2, 2) = 9.0f;
+  const Tensor out = pool.forward(input, Mode::kEval);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  // The centre pixel is inside all four 3x3 windows.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[i], 9.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax) {
+  MaxPool2D pool({2, 2, 0});
+  Tensor input{Shape{1, 1, 2, 2}, {1, 4, 2, 3}};
+  pool.forward(input, Mode::kTrain);
+  const Tensor grad{Shape{1, 1, 1, 1}, {5.0f}};
+  const Tensor gin = pool.backward(grad);
+  EXPECT_FLOAT_EQ(gin[0], 0.0f);
+  EXPECT_FLOAT_EQ(gin[1], 5.0f);
+  EXPECT_FLOAT_EQ(gin[2], 0.0f);
+  EXPECT_FLOAT_EQ(gin[3], 0.0f);
+}
+
+TEST(AvgPool2D, AveragesWindow) {
+  AvgPool2D pool({2, 2, 0});
+  Tensor input{Shape{1, 1, 2, 4}, {1, 3, 5, 7, 2, 4, 6, 8}};
+  const Tensor out = pool.forward(input, Mode::kEval);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 6.5f);
+}
+
+TEST(AvgPool2D, BackwardSpreadsEvenly) {
+  AvgPool2D pool({2, 2, 0});
+  Tensor input{Shape{1, 1, 2, 2}};
+  pool.forward(input, Mode::kTrain);
+  const Tensor grad{Shape{1, 1, 1, 1}, {8.0f}};
+  const Tensor gin = pool.backward(grad);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(gin[i], 2.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flatten;
+  Tensor input{Shape{2, 3, 2, 2}};
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<float>(i);
+  }
+  const Tensor out = flatten.forward(input, Mode::kTrain);
+  EXPECT_EQ(out.shape(), (Shape{2, 12}));
+  const Tensor back = flatten.backward(out);
+  EXPECT_TRUE(back.equals(input));
+}
+
+TEST(Layers, CloneIsDeep) {
+  util::Rng rng{7};
+  Conv2D conv({2, 3, 3, 1, 1}, rng);
+  auto copy = conv.clone();
+  auto* conv_copy = dynamic_cast<Conv2D*>(copy.get());
+  ASSERT_NE(conv_copy, nullptr);
+  EXPECT_TRUE(conv_copy->master_weights().equals(conv.master_weights()));
+  conv_copy->master_weights()[0] += 1.0f;
+  EXPECT_FALSE(conv_copy->master_weights().equals(conv.master_weights()));
+}
+
+TEST(Layers, OutputTransformApplied) {
+  ReLU relu;
+  relu.set_output_transform([](const Tensor& src, Tensor& dst) {
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i] * 2.0f;
+  });
+  const Tensor input{Shape{2}, {1.0f, -1.0f}};
+  const Tensor out = relu.forward(input, Mode::kEval);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(WeightedLayer, ParamTransformProducesEffectiveWeights) {
+  util::Rng rng{8};
+  FullyConnected fc({2, 2}, rng);
+  fc.master_weights() = Tensor{Shape{2, 2}, {0.3f, -0.3f, 0.6f, -0.6f}};
+  fc.set_param_transform(
+      [](const Tensor& src, Tensor& dst) {
+        for (std::size_t i = 0; i < src.size(); ++i) {
+          dst[i] = src[i] > 0 ? 1.0f : -1.0f;
+        }
+      },
+      nullptr);
+  const Tensor input{Shape{1, 2}, {1.0f, 1.0f}};
+  const Tensor out = fc.forward(input, Mode::kEval);
+  // Binarized weights: rows sum to 1 - 1 = 0.
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  // Master weights untouched.
+  EXPECT_FLOAT_EQ(fc.master_weights()[0], 0.3f);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,188 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Softmax, RowsSumToOne) {
+  util::Rng rng{1};
+  Tensor logits{Shape{5, 7}};
+  logits.fill_normal(rng, 0.0f, 3.0f);
+  for (float tau : {0.5f, 1.0f, 20.0f}) {
+    const Tensor probs = softmax(logits, tau);
+    for (std::size_t n = 0; n < 5; ++n) {
+      float row = 0.0f;
+      for (std::size_t k = 0; k < 7; ++k) row += probs.at2(n, k);
+      EXPECT_NEAR(row, 1.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(Softmax, StableForHugeLogits) {
+  const Tensor logits{Shape{1, 3}, {1000.0f, 999.0f, -1000.0f}};
+  const Tensor probs = softmax(logits);
+  EXPECT_TRUE(std::isfinite(probs[0]));
+  EXPECT_GT(probs[0], probs[1]);
+  EXPECT_NEAR(probs[2], 0.0f, 1e-12f);
+}
+
+TEST(Softmax, HighTemperatureFlattens) {
+  const Tensor logits{Shape{1, 2}, {2.0f, -2.0f}};
+  const Tensor sharp = softmax(logits, 1.0f);
+  const Tensor flat = softmax(logits, 50.0f);
+  EXPECT_GT(sharp[0], flat[0]);
+  EXPECT_NEAR(flat[0], 0.5f, 0.05f);
+}
+
+TEST(Softmax, RejectsBadArgs) {
+  const Tensor logits{Shape{1, 2}, {0.0f, 0.0f}};
+  EXPECT_THROW(softmax(logits, 0.0f), std::invalid_argument);
+  const Tensor rank1{Shape{2}, {0.0f, 0.0f}};
+  EXPECT_THROW(softmax(rank1), std::invalid_argument);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  // Uniform logits: loss = log(K).
+  const Tensor logits{Shape{1, 4}, {0, 0, 0, 0}};
+  const std::vector<int> labels{2};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, std::log(4.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientIsProbsMinusOneHot) {
+  const Tensor logits{Shape{1, 3}, {1.0f, 2.0f, 0.5f}};
+  const std::vector<int> labels{1};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  const Tensor probs = softmax(logits);
+  EXPECT_NEAR(result.grad_logits[0], probs[0], 1e-6f);
+  EXPECT_NEAR(result.grad_logits[1], probs[1] - 1.0f, 1e-6f);
+  EXPECT_NEAR(result.grad_logits[2], probs[2], 1e-6f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  util::Rng rng{2};
+  Tensor logits{Shape{3, 5}};
+  logits.fill_normal(rng, 0.0f, 1.0f);
+  const std::vector<int> labels{0, 4, 2};
+  const LossResult result = softmax_cross_entropy(logits, labels);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float saved = logits[i];
+    logits[i] = saved + kEps;
+    const float up = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved - kEps;
+    const float down = softmax_cross_entropy(logits, labels).loss;
+    logits[i] = saved;
+    EXPECT_NEAR(result.grad_logits[i], (up - down) / (2 * kEps), 1e-3f);
+  }
+}
+
+TEST(CrossEntropy, ValidatesLabels) {
+  const Tensor logits{Shape{2, 3}, {0, 0, 0, 0, 0, 0}};
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{0, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_cross_entropy(logits, std::vector<int>{0, -1}),
+               std::invalid_argument);
+}
+
+TEST(Distillation, ReducesToCrossEntropyAtBetaZero) {
+  util::Rng rng{3};
+  Tensor student{Shape{2, 4}}, teacher{Shape{2, 4}};
+  student.fill_normal(rng, 0.0f, 1.0f);
+  teacher.fill_normal(rng, 0.0f, 1.0f);
+  const std::vector<int> labels{1, 3};
+  const LossResult plain = softmax_cross_entropy(student, labels);
+  const LossResult distill =
+      distillation_loss(student, teacher, labels, 20.0f, 0.0f);
+  EXPECT_NEAR(plain.loss, distill.loss, 1e-6f);
+  EXPECT_LT(tensor::max_abs_diff(plain.grad_logits, distill.grad_logits),
+            1e-7f);
+}
+
+TEST(Distillation, ZeroWhenStudentMatchesTeacherSoftTerm) {
+  // If student logits == teacher logits the soft gradient term vanishes.
+  util::Rng rng{4};
+  Tensor logits{Shape{2, 4}};
+  logits.fill_normal(rng, 0.0f, 1.0f);
+  const std::vector<int> labels{0, 1};
+  const LossResult with_teacher =
+      distillation_loss(logits, logits, labels, 10.0f, 5.0f);
+  const LossResult hard_only = softmax_cross_entropy(logits, labels);
+  EXPECT_LT(tensor::max_abs_diff(with_teacher.grad_logits,
+                                 hard_only.grad_logits),
+            1e-6f);
+}
+
+TEST(Distillation, GradientMatchesFiniteDifference) {
+  util::Rng rng{5};
+  Tensor student{Shape{2, 4}}, teacher{Shape{2, 4}};
+  student.fill_normal(rng, 0.0f, 1.5f);
+  teacher.fill_normal(rng, 0.0f, 1.5f);
+  const std::vector<int> labels{2, 0};
+  const float tau = 4.0f, beta = 0.7f;
+  const LossResult result =
+      distillation_loss(student, teacher, labels, tau, beta);
+  constexpr float kEps = 1e-2f;
+  for (std::size_t i = 0; i < student.size(); ++i) {
+    const float saved = student[i];
+    student[i] = saved + kEps;
+    const float up =
+        distillation_loss(student, teacher, labels, tau, beta).loss;
+    student[i] = saved - kEps;
+    const float down =
+        distillation_loss(student, teacher, labels, tau, beta).loss;
+    student[i] = saved;
+    EXPECT_NEAR(result.grad_logits[i], (up - down) / (2 * kEps), 2e-3f);
+  }
+}
+
+TEST(Distillation, ApproxMatchesExactForLargeTau) {
+  // Paper Eq. 2 is the large-tau limit of the exact soft gradient; at
+  // tau = 100 with zero-meaned logits both must nearly coincide.
+  util::Rng rng{6};
+  Tensor student{Shape{3, 5}}, teacher{Shape{3, 5}};
+  student.fill_normal(rng, 0.0f, 1.0f);
+  teacher.fill_normal(rng, 0.0f, 1.0f);
+  // Zero-mean each row (the approximation's assumption).
+  for (std::size_t n = 0; n < 3; ++n) {
+    for (Tensor* t : {&student, &teacher}) {
+      float mean = 0.0f;
+      for (std::size_t k = 0; k < 5; ++k) mean += t->at2(n, k);
+      mean /= 5.0f;
+      for (std::size_t k = 0; k < 5; ++k) t->at2(n, k) -= mean;
+    }
+  }
+  const std::vector<int> labels{0, 2, 4};
+  const float tau = 100.0f, beta = 2.0f;
+  const LossResult exact =
+      distillation_loss(student, teacher, labels, tau, beta);
+  const LossResult approx =
+      distillation_loss_approx(student, teacher, labels, tau, beta);
+  EXPECT_LT(tensor::max_abs_diff(exact.grad_logits, approx.grad_logits),
+            2e-5f);
+}
+
+TEST(Distillation, RejectsBadArgs) {
+  const Tensor a{Shape{1, 2}, {0, 0}};
+  const Tensor b{Shape{1, 3}, {0, 0, 0}};
+  const std::vector<int> labels{0};
+  EXPECT_THROW(distillation_loss(a, b, labels, 1.0f, 0.1f),
+               std::invalid_argument);
+  EXPECT_THROW(distillation_loss(a, a, labels, -1.0f, 0.1f),
+               std::invalid_argument);
+  EXPECT_THROW(distillation_loss(a, a, labels, 1.0f, -0.1f),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,103 @@
+#include "nn/lrn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(LRN, RejectsEvenWindow) {
+  EXPECT_THROW(LocalResponseNorm({4, 1e-4f, 0.75f, 1.0f}),
+               std::invalid_argument);
+  EXPECT_THROW(LocalResponseNorm({0, 1e-4f, 0.75f, 1.0f}),
+               std::invalid_argument);
+}
+
+TEST(LRN, IdentityWhenAlphaZero) {
+  LocalResponseNorm lrn({5, 0.0f, 0.75f, 1.0f});
+  util::Rng rng{1};
+  Tensor input{Shape{2, 6, 3, 3}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor out = lrn.forward(input, Mode::kEval);
+  EXPECT_LT(tensor::max_abs_diff(out, input), 1e-6f);
+}
+
+TEST(LRN, MatchesScalarFormula) {
+  // Single spatial position, 3 channels, window 3: direct formula check.
+  LocalResponseNorm lrn({3, 0.5f, 1.0f, 2.0f});
+  Tensor input{Shape{1, 3, 1, 1}, {1.0f, 2.0f, 3.0f}};
+  const Tensor out = lrn.forward(input, Mode::kEval);
+  const float alpha_over_n = 0.5f / 3.0f;
+  // c=0: window {0,1}: k + a/n*(1+4) ; beta=1 -> divide.
+  EXPECT_NEAR(out[0], 1.0f / (2.0f + alpha_over_n * 5.0f), 1e-6f);
+  // c=1: window {0,1,2}: 1+4+9 = 14.
+  EXPECT_NEAR(out[1], 2.0f / (2.0f + alpha_over_n * 14.0f), 1e-6f);
+  // c=2: window {1,2}: 4+9 = 13.
+  EXPECT_NEAR(out[2], 3.0f / (2.0f + alpha_over_n * 13.0f), 1e-6f);
+}
+
+TEST(LRN, SuppressesHighActivityNeighbourhoods) {
+  LocalResponseNorm lrn({3, 1.0f, 0.75f, 1.0f});
+  // Same value in the centre channel; neighbours quiet vs loud.
+  Tensor quiet{Shape{1, 3, 1, 1}, {0.0f, 1.0f, 0.0f}};
+  Tensor loud{Shape{1, 3, 1, 1}, {3.0f, 1.0f, 3.0f}};
+  const float quiet_centre = lrn.forward(quiet, Mode::kEval)[1];
+  const float loud_centre = lrn.forward(loud, Mode::kEval)[1];
+  EXPECT_GT(quiet_centre, loud_centre);
+}
+
+TEST(LRN, GradientMatchesFiniteDifference) {
+  LocalResponseNorm lrn({3, 0.3f, 0.75f, 1.5f});
+  util::Rng rng{2};
+  Tensor input{Shape{1, 4, 2, 2}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+
+  Tensor coeffs{input.shape()};
+  coeffs.fill_uniform(rng, -1.0f, 1.0f);
+  auto probe = [&](const Tensor& y) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += coeffs[i] * y[i];
+    return acc;
+  };
+
+  lrn.forward(input, Mode::kTrain);
+  const Tensor grad = lrn.backward(coeffs);
+
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + kEps;
+    const double up = probe(lrn.forward(input, Mode::kTrain));
+    input[i] = saved - kEps;
+    const double down = probe(lrn.forward(input, Mode::kTrain));
+    input[i] = saved;
+    EXPECT_NEAR(grad[i], (up - down) / (2.0 * kEps), 5e-3)
+        << "at index " << i;
+  }
+}
+
+TEST(LRN, CloneIsIndependent) {
+  LocalResponseNorm lrn({5, 1e-4f, 0.75f, 1.0f});
+  auto copy = lrn.clone();
+  EXPECT_STREQ(copy->kind(), "lrn");
+  util::Rng rng{3};
+  Tensor input{Shape{1, 6, 2, 2}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_TRUE(copy->forward(input, Mode::kEval)
+                  .equals(lrn.forward(input, Mode::kEval)));
+}
+
+TEST(LRN, BackwardRequiresTrainForward) {
+  LocalResponseNorm lrn({3, 1e-4f, 0.75f, 1.0f});
+  Tensor grad{Shape{1, 3, 1, 1}};
+  EXPECT_THROW(lrn.backward(grad), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

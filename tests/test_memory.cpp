@@ -1,0 +1,60 @@
+#include "quant/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace mfdfp::quant {
+namespace {
+
+TEST(Memory, CountsMatchArchitecture) {
+  util::Rng rng{1};
+  nn::ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 32;
+  config.num_classes = 10;
+  nn::Network net = nn::make_cifar10_net(config, rng);
+  const MemoryReport report = memory_report(net);
+
+  const std::size_t weights =
+      32 * 3 * 25 + 32 * 32 * 25 + 64 * 32 * 25 + 10 * 64 * 16;
+  const std::size_t biases = 32 + 32 + 64 + 10;
+  EXPECT_EQ(report.weight_count, weights);
+  EXPECT_EQ(report.bias_count, biases);
+  EXPECT_EQ(report.float_bytes, 4 * (weights + biases));
+  // 4-bit weights + 8-bit biases + one (m,n) byte per weighted layer.
+  EXPECT_EQ(report.mfdfp_bytes, (weights + 1) / 2 + biases + 4);
+}
+
+TEST(Memory, CompressionApproachesEightX) {
+  // Weight-dominated nets compress by ~8x (32-bit -> 4-bit), as Table 3.
+  util::Rng rng{2};
+  nn::ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 32;
+  config.num_classes = 10;
+  nn::Network net = nn::make_cifar10_net(config, rng);
+  const MemoryReport report = memory_report(net);
+  EXPECT_GT(report.compression(), 7.5);
+  EXPECT_LE(report.compression(), 8.0);
+}
+
+TEST(Memory, MegabyteConversion) {
+  MemoryReport report;
+  report.float_bytes = 1024 * 1024;
+  report.mfdfp_bytes = 512 * 1024;
+  EXPECT_DOUBLE_EQ(report.float_mb(), 1.0);
+  EXPECT_DOUBLE_EQ(report.mfdfp_mb(), 0.5);
+  EXPECT_DOUBLE_EQ(report.compression(), 2.0);
+}
+
+TEST(Memory, EmptyNetworkIsZero) {
+  nn::Network net;
+  const MemoryReport report = memory_report(net);
+  EXPECT_EQ(report.weight_count, 0u);
+  EXPECT_EQ(report.float_bytes, 0u);
+  EXPECT_EQ(report.compression(), 0.0);
+}
+
+}  // namespace
+}  // namespace mfdfp::quant

@@ -1,0 +1,108 @@
+#include "nn/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/flatten.hpp"
+#include "nn/fully_connected.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(TopK, BasicRanking) {
+  const Tensor logits{Shape{1, 5}, {0.1f, 0.9f, 0.5f, 0.3f, 0.7f}};
+  EXPECT_TRUE(in_top_k(logits, 0, 1, 1));
+  EXPECT_FALSE(in_top_k(logits, 0, 4, 1));
+  EXPECT_TRUE(in_top_k(logits, 0, 4, 2));
+  EXPECT_TRUE(in_top_k(logits, 0, 2, 3));
+  EXPECT_FALSE(in_top_k(logits, 0, 0, 4));
+  EXPECT_TRUE(in_top_k(logits, 0, 0, 5));
+}
+
+TEST(TopK, TieBreaksByLowerIndex) {
+  const Tensor logits{Shape{1, 3}, {0.5f, 0.5f, 0.5f}};
+  EXPECT_TRUE(in_top_k(logits, 0, 0, 1));
+  EXPECT_FALSE(in_top_k(logits, 0, 1, 1));
+  EXPECT_TRUE(in_top_k(logits, 0, 1, 2));
+}
+
+/// Identity-ish network: fc with fixed weights mapping feature i to class i.
+Network probe_net(std::size_t classes) {
+  util::Rng rng{1};
+  Network net;
+  net.add(std::make_unique<Flatten>());
+  auto fc = std::make_unique<FullyConnected>(
+      FullyConnected::Config{classes, classes}, rng);
+  fc->master_weights().zero();
+  for (std::size_t i = 0; i < classes; ++i) {
+    fc->master_weights().at2(i, i) = 1.0f;
+  }
+  fc->master_bias().zero();
+  net.add(std::move(fc));
+  return net;
+}
+
+TEST(Evaluate, PerfectAndImperfectAccuracy) {
+  Network net = probe_net(4);
+  // 8 one-hot "images" ({N,4,1,1}), labels matching for 6, wrong for 2.
+  Tensor images{Shape{8, 4, 1, 1}};
+  std::vector<int> labels(8);
+  for (std::size_t n = 0; n < 8; ++n) {
+    const std::size_t hot = n % 4;
+    images.at(n, hot, 0, 0) = 1.0f;
+    labels[n] = static_cast<int>(hot);
+  }
+  labels[6] = (labels[6] + 1) % 4;
+  labels[7] = (labels[7] + 1) % 4;
+
+  const EvalResult result = evaluate(net, images, labels, 3);
+  EXPECT_EQ(result.sample_count, 8u);
+  EXPECT_NEAR(result.top1, 6.0 / 8.0, 1e-9);
+  // 4 classes: top-5 degenerates to always-correct.
+  EXPECT_NEAR(result.top5, 1.0, 1e-9);
+  EXPECT_GT(result.mean_loss, 0.0);
+}
+
+TEST(Evaluate, ValidatesArgs) {
+  Network net = probe_net(2);
+  Tensor images{Shape{2, 2, 1, 1}};
+  const std::vector<int> labels{0};
+  EXPECT_THROW(evaluate(net, images, labels), std::invalid_argument);
+  const std::vector<int> ok{0, 1};
+  EXPECT_THROW(evaluate(net, images, ok, 0), std::invalid_argument);
+}
+
+TEST(EvaluateEnsemble, AveragingFixesSingleMemberError) {
+  // Member A strongly wrong on class 1, member B strongly right: the
+  // average must be right.
+  Network a = probe_net(2);
+  Network b = probe_net(2);
+  auto* fc_a = dynamic_cast<FullyConnected*>(&a.layer(1));
+  fc_a->master_weights().at2(0, 1) = 3.0f;  // class-1 inputs -> class 0 (wrong)
+  fc_a->master_weights().at2(1, 1) = 0.0f;
+  auto* fc_b = dynamic_cast<FullyConnected*>(&b.layer(1));
+  fc_b->master_weights().at2(1, 1) = 9.0f;  // class-1 inputs -> class 1, strong
+
+  Tensor images{Shape{2, 2, 1, 1}};
+  images.at(0, 0, 0, 0) = 1.0f;
+  images.at(1, 1, 0, 0) = 1.0f;
+  const std::vector<int> labels{0, 1};
+
+  EXPECT_NEAR(evaluate(a, images, labels).top1, 0.5, 1e-9);
+  const std::vector<Network*> members{&a, &b};
+  const EvalResult ens = evaluate_ensemble(members, images, labels);
+  EXPECT_NEAR(ens.top1, 1.0, 1e-9);
+}
+
+TEST(EvaluateEnsemble, RejectsEmpty) {
+  Tensor images{Shape{1, 2, 1, 1}};
+  const std::vector<int> labels{0};
+  const std::vector<Network*> empty;
+  EXPECT_THROW(evaluate_ensemble(empty, images, labels),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,132 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/flatten.hpp"
+#include "nn/fully_connected.hpp"
+#include "nn/pooling.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Network small_net(util::Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Conv2D>(Conv2D::Config{1, 2, 3, 1, 1}, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(PoolConfig{2, 2, 0}));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<FullyConnected>(FullyConnected::Config{8, 3},
+                                           rng));
+  return net;
+}
+
+TEST(Network, ForwardShape) {
+  util::Rng rng{1};
+  Network net = small_net(rng);
+  Tensor input{Shape{4, 1, 4, 4}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor out = net.forward(input);
+  EXPECT_EQ(out.shape(), (Shape{4, 3}));
+  EXPECT_EQ(net.output_shape(Shape{4, 1, 4, 4}), (Shape{4, 3}));
+}
+
+TEST(Network, EmptyThrows) {
+  Network net;
+  Tensor input{Shape{1, 1, 2, 2}};
+  EXPECT_THROW(net.forward(input), std::logic_error);
+  EXPECT_THROW(net.backward(input), std::logic_error);
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(Network, ParamCountAndNames) {
+  util::Rng rng{2};
+  Network net = small_net(rng);
+  // conv: 2*1*3*3 + 2 = 20; fc: 3*8 + 3 = 27.
+  EXPECT_EQ(net.param_count(), 47u);
+  const auto params = net.params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "conv2d.0.weights");
+  EXPECT_EQ(params[3].name, "fc.4.bias");
+}
+
+TEST(Network, CloneIsDeepAndIdentical) {
+  util::Rng rng{3};
+  Network net = small_net(rng);
+  Network copy = net.clone();
+  Tensor input{Shape{2, 1, 4, 4}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_TRUE(net.forward(input).equals(copy.forward(input)));
+
+  // Mutating the copy leaves the original untouched.
+  auto* fc = dynamic_cast<FullyConnected*>(&copy.layer(4));
+  ASSERT_NE(fc, nullptr);
+  fc->master_weights().fill(0.0f);
+  EXPECT_FALSE(net.forward(input).equals(copy.forward(input)));
+}
+
+TEST(Network, WeightedLayerIndices) {
+  util::Rng rng{4};
+  Network net = small_net(rng);
+  const auto indices = net.weighted_layer_indices();
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[1], 4u);
+}
+
+TEST(Network, ClearTransformsRestoresFloatBehaviour) {
+  util::Rng rng{5};
+  Network net = small_net(rng);
+  Tensor input{Shape{1, 1, 4, 4}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor reference = net.forward(input);
+
+  for (std::size_t i : net.weighted_layer_indices()) {
+    auto* weighted = dynamic_cast<WeightedLayer*>(&net.layer(i));
+    weighted->set_param_transform(
+        [](const Tensor&, Tensor& dst) { dst.fill(0.0f); }, nullptr);
+  }
+  const Tensor zeroed = net.forward(input);
+  EXPECT_FALSE(reference.equals(zeroed));
+
+  net.clear_transforms();
+  EXPECT_TRUE(reference.equals(net.forward(input)));
+}
+
+TEST(Network, CloneCarriesTransforms) {
+  util::Rng rng{6};
+  Network net = small_net(rng);
+  auto* weighted = dynamic_cast<WeightedLayer*>(&net.layer(0));
+  weighted->set_param_transform(
+      [](const Tensor&, Tensor& dst) { dst.fill(0.0f); }, nullptr);
+  Network copy = net.clone();
+  Tensor input{Shape{1, 1, 4, 4}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_TRUE(net.forward(input).equals(copy.forward(input)));
+  auto* copied = dynamic_cast<WeightedLayer*>(&copy.layer(0));
+  EXPECT_TRUE(copied->has_param_transform());
+}
+
+TEST(Network, BackwardPropagatesThroughAllLayers) {
+  util::Rng rng{7};
+  Network net = small_net(rng);
+  Tensor input{Shape{2, 1, 4, 4}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  const Tensor out = net.forward(input, Mode::kTrain);
+  Tensor grad{out.shape()};
+  grad.fill(1.0f);
+  const Tensor gin = net.backward(grad);
+  EXPECT_EQ(gin.shape(), input.shape());
+  // Conv weight grads must be populated.
+  const auto params = net.params();
+  float grad_norm = 0.0f;
+  for (float g : params[0].grad->data()) grad_norm += g * g;
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,94 @@
+#include "nn/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Param {
+  Tensor value{Shape{2}, {1.0f, -1.0f}};
+  Tensor grad{Shape{2}, {0.5f, -0.25f}};
+
+  [[nodiscard]] std::vector<ParamView> views() {
+    return {ParamView{&value, &grad, &value, "p"}};
+  }
+};
+
+TEST(Sgd, PlainStep) {
+  Param p;
+  SgdOptimizer opt({0.1f, 0.0f, 0.0f});
+  opt.step(p.views());
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f + 0.1f * 0.25f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p;
+  SgdOptimizer opt({0.1f, 0.9f, 0.0f});
+  opt.step(p.views());  // v1 = -lr*g
+  const float v1 = -0.1f * 0.5f;
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f + v1);
+  opt.step(p.views());  // v2 = 0.9*v1 - lr*g
+  const float v2 = 0.9f * v1 - 0.1f * 0.5f;
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f + v1 + v2);
+}
+
+TEST(Sgd, WeightDecayPullsTowardZero) {
+  Param p;
+  p.grad.zero();
+  SgdOptimizer opt({0.1f, 0.0f, 0.5f});
+  opt.step(p.views());
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.1f * 0.5f * 1.0f);
+  EXPECT_FLOAT_EQ(p.value[1], -1.0f + 0.1f * 0.5f * 1.0f);
+}
+
+TEST(Sgd, ResetStateClearsMomentum) {
+  Param p;
+  SgdOptimizer opt({0.1f, 0.9f, 0.0f});
+  opt.step(p.views());
+  opt.reset_state();
+  const float before = p.value[0];
+  opt.step(p.views());
+  // Without momentum carry-over, the second step equals a fresh first step.
+  EXPECT_FLOAT_EQ(p.value[0], before - 0.1f * 0.5f);
+}
+
+TEST(Sgd, LearningRateSetter) {
+  SgdOptimizer opt({0.1f, 0.0f, 0.0f});
+  opt.set_learning_rate(0.01f);
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.01f);
+}
+
+TEST(Plateau, ReducesLrAfterPatience) {
+  SgdOptimizer opt({1.0f, 0.0f, 0.0f});
+  PlateauSchedule schedule({10.0f, 2, 1e-4f, 1e-4f});
+  EXPECT_FALSE(schedule.observe(0.5f, opt));  // improvement
+  EXPECT_FALSE(schedule.observe(0.5f, opt));  // stale 1
+  EXPECT_FALSE(schedule.observe(0.5f, opt));  // stale 2 -> lr /= 10
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 0.1f);
+}
+
+TEST(Plateau, ImprovementResetsPatience) {
+  SgdOptimizer opt({1.0f, 0.0f, 0.0f});
+  PlateauSchedule schedule({10.0f, 2, 1e-4f, 1e-4f});
+  schedule.observe(0.5f, opt);
+  schedule.observe(0.5f, opt);   // stale 1
+  schedule.observe(0.4f, opt);   // improvement resets
+  schedule.observe(0.4f, opt);   // stale 1 again
+  EXPECT_FLOAT_EQ(opt.learning_rate(), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.best_error(), 0.4f);
+}
+
+TEST(Plateau, StopsWhenLrExhausted) {
+  SgdOptimizer opt({1e-3f, 0.0f, 0.0f});
+  PlateauSchedule schedule({10.0f, 1, 1e-3f, 1e-4f});
+  schedule.observe(0.5f, opt);
+  // Next reduction would drop below min_lr -> signals stop.
+  EXPECT_TRUE(schedule.observe(0.5f, opt));
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,94 @@
+#include "hw/qnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/zoo.hpp"
+#include "quant/memory.hpp"
+
+namespace mfdfp::hw {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+struct Fixture {
+  nn::Network net;
+  quant::QuantSpec spec;
+  Tensor calibration;
+
+  explicit Fixture(std::uint64_t seed) {
+    util::Rng rng{seed};
+    nn::ZooConfig config;
+    config.in_channels = 2;
+    config.in_h = config.in_w = 8;
+    config.num_classes = 4;
+    config.width_multiplier = 0.2f;
+    net = nn::make_cifar10_net(config, rng);
+    calibration = Tensor{Shape{8, 2, 8, 8}};
+    calibration.fill_uniform(rng, -1.0f, 1.0f);
+    spec = quant::quantize_network(net, calibration);
+  }
+};
+
+TEST(QNet, ExtractionCoversEveryLayer) {
+  Fixture fx(1);
+  const QNetDesc desc = extract_qnet(fx.net, fx.spec, "t");
+  EXPECT_EQ(desc.layers.size(), fx.net.layer_count());
+  EXPECT_EQ(desc.input_frac, fx.spec.input.frac);
+  EXPECT_EQ(desc.name, "t");
+  // Layer kinds in order: conv, pool, relu, conv, relu, pool, conv, relu,
+  // pool, flatten, fc.
+  EXPECT_TRUE(std::holds_alternative<QConv>(desc.layers[0]));
+  EXPECT_TRUE(std::holds_alternative<QPool>(desc.layers[1]));
+  EXPECT_TRUE(std::holds_alternative<QRelu>(desc.layers[2]));
+  EXPECT_TRUE(std::holds_alternative<QFlatten>(desc.layers[9]));
+  EXPECT_TRUE(std::holds_alternative<QFullyConnected>(desc.layers[10]));
+}
+
+TEST(QNet, WeightsPackedAtFourBits) {
+  Fixture fx(2);
+  const QNetDesc desc = extract_qnet(fx.net, fx.spec);
+  const auto& conv = std::get<QConv>(desc.layers[0]);
+  const std::size_t weight_count = conv.out_c * conv.in_c * 25;
+  EXPECT_EQ(conv.packed_weights.size(), (weight_count + 1) / 2);
+  EXPECT_EQ(conv.bias_codes.size(), conv.out_c);
+}
+
+TEST(QNet, ParameterBytesMatchesMemoryReport) {
+  Fixture fx(3);
+  const QNetDesc desc = extract_qnet(fx.net, fx.spec);
+  const quant::MemoryReport report = quant::memory_report(fx.net);
+  // parameter_bytes excludes the per-layer radix registers counted by the
+  // memory report.
+  EXPECT_EQ(desc.parameter_bytes(),
+            report.mfdfp_bytes - fx.net.weighted_layer_indices().size());
+}
+
+TEST(QNet, OutFracsFollowSpec) {
+  Fixture fx(4);
+  const QNetDesc desc = extract_qnet(fx.net, fx.spec);
+  const auto& conv = std::get<QConv>(desc.layers[0]);
+  EXPECT_EQ(conv.out_frac, fx.spec.layer_output[0].frac);
+  const auto& fc = std::get<QFullyConnected>(desc.layers[10]);
+  EXPECT_EQ(fc.out_frac, fx.spec.layer_output[10].frac);
+}
+
+TEST(QNet, SpecArityMismatchThrows) {
+  Fixture fx(5);
+  quant::QuantSpec bad = fx.spec;
+  bad.layer_output.pop_back();
+  EXPECT_THROW(extract_qnet(fx.net, bad), std::invalid_argument);
+}
+
+TEST(QNet, UnsupportedLayerThrows) {
+  util::Rng rng{6};
+  nn::Network net;
+  net.add(std::make_unique<nn::Tanh>());  // not hardware-mappable
+  quant::QuantSpec spec;
+  spec.layer_output = {quant::DfpFormat{8, 7}};
+  EXPECT_THROW(extract_qnet(net, spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::hw

@@ -1,0 +1,106 @@
+#include "quant/range.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace mfdfp::quant {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(RangeAnalysis, FormatsCoverObservedRanges) {
+  util::Rng rng{1};
+  nn::ZooConfig config;
+  config.in_channels = 2;
+  config.in_h = config.in_w = 8;
+  config.num_classes = 4;
+  config.width_multiplier = 0.2f;
+  nn::Network net = nn::make_cifar10_net(config, rng);
+
+  Tensor calibration{Shape{16, 2, 8, 8}};
+  calibration.fill_uniform(rng, -1.0f, 1.0f);
+  const QuantSpec spec = analyze_ranges(net, calibration, 8);
+
+  ASSERT_EQ(spec.layer_output.size(), net.layer_count());
+  ASSERT_EQ(spec.layer_max_abs.size(), net.layer_count());
+  for (std::size_t i = 0; i < spec.layer_output.size(); ++i) {
+    // Negative rail of <8,f> covers the observed max-abs.
+    EXPECT_GE(-spec.layer_output[i].min_value(), spec.layer_max_abs[i]);
+    // Minimality: one more fractional bit would not cover (skip degenerate
+    // all-zero layers).
+    if (spec.layer_max_abs[i] > 0.0f) {
+      DfpFormat finer = spec.layer_output[i];
+      finer.frac += 1;
+      EXPECT_LT(-finer.min_value(), spec.layer_max_abs[i] + 1e-6f);
+    }
+  }
+  // Input is in [-1,1] -> frac 7.
+  EXPECT_EQ(spec.input.frac, 7);
+}
+
+TEST(RangeAnalysis, BatchingDoesNotChangeResult) {
+  util::Rng rng{2};
+  nn::ZooConfig config;
+  config.in_channels = 1;
+  config.in_h = config.in_w = 8;
+  config.num_classes = 3;
+  nn::Network net = nn::make_mlp(config, 8, rng);
+  Tensor calibration{Shape{10, 1, 8, 8}};
+  calibration.fill_normal(rng, 0.0f, 1.0f);
+  const QuantSpec small_batches = analyze_ranges(net, calibration, 8, 3);
+  const QuantSpec one_batch = analyze_ranges(net, calibration, 8, 64);
+  ASSERT_EQ(small_batches.layer_output.size(),
+            one_batch.layer_output.size());
+  for (std::size_t i = 0; i < one_batch.layer_output.size(); ++i) {
+    EXPECT_EQ(small_batches.layer_output[i], one_batch.layer_output[i]);
+  }
+}
+
+TEST(RangeAnalysis, DifferentLayersGetDifferentFormats) {
+  // The whole point of *dynamic* fixed point: ranges differ per layer, so
+  // at least two formats should differ on a real network.
+  util::Rng rng{3};
+  nn::ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 16;
+  config.num_classes = 10;
+  config.width_multiplier = 0.25f;
+  nn::Network net = nn::make_cifar10_net(config, rng);
+  Tensor calibration{Shape{8, 3, 16, 16}};
+  calibration.fill_uniform(rng, -1.0f, 1.0f);
+  const QuantSpec spec = analyze_ranges(net, calibration, 8);
+  bool any_differs = false;
+  for (std::size_t i = 1; i < spec.layer_output.size(); ++i) {
+    if (spec.layer_output[i].frac != spec.layer_output[0].frac) {
+      any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(RangeAnalysis, RejectsBadInput) {
+  util::Rng rng{4};
+  nn::ZooConfig config;
+  nn::Network net = nn::make_mlp(config, 4, rng);
+  Tensor rank2{Shape{4, 4}};
+  EXPECT_THROW(analyze_ranges(net, rank2, 8), std::invalid_argument);
+  nn::Network empty;
+  Tensor ok{Shape{1, 3, 32, 32}};
+  EXPECT_THROW(analyze_ranges(empty, ok, 8), std::invalid_argument);
+}
+
+TEST(QuantSpec, ToStringMentionsEveryLayer) {
+  QuantSpec spec;
+  spec.input = DfpFormat{8, 7};
+  spec.layer_output = {DfpFormat{8, 4}, DfpFormat{8, 2}};
+  spec.layer_max_abs = {3.0f, 20.0f};
+  const std::string s = spec.to_string();
+  EXPECT_NE(s.find("<8,4>"), std::string::npos);
+  EXPECT_NE(s.find("<8,2>"), std::string::npos);
+  EXPECT_NE(s.find("L1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfdfp::quant

@@ -1,0 +1,77 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/activations.hpp"
+#include "nn/zoo.hpp"
+
+namespace mfdfp::core {
+namespace {
+
+ConversionResult make_result() {
+  data::SyntheticSpec spec = data::cifar_like_spec();
+  spec.num_classes = 3;
+  spec.height = spec.width = 8;
+  spec.train_count = 60;
+  spec.test_count = 30;
+  const data::DatasetPair ds = data::make_synthetic(spec);
+
+  util::Rng rng{1};
+  nn::ZooConfig zoo;
+  zoo.in_channels = 3;
+  zoo.in_h = zoo.in_w = 8;
+  zoo.num_classes = 3;
+  zoo.width_multiplier = 0.15f;
+  nn::Network net = nn::make_cifar10_net(zoo, rng);
+  FloatTrainConfig tc;
+  tc.max_epochs = 2;
+  train_float_network(net, ds.train, ds.test, tc);
+
+  ConverterConfig cc;
+  cc.phase1_epochs = 1;
+  cc.phase2_epochs = 1;
+  return MfDfpConverter(cc).convert(net, ds.train, ds.test);
+}
+
+TEST(Report, MentionsAllSections) {
+  const ConversionResult result = make_result();
+  ReportOptions options;
+  options.in_c = 3;
+  options.in_h = options.in_w = 8;
+  const std::string report = conversion_report(result, options);
+  EXPECT_NE(report.find("float val error"), std::string::npos);
+  EXPECT_NE(report.find("mf-dfp val error"), std::string::npos);
+  EXPECT_NE(report.find("parameters"), std::string::npos);
+  EXPECT_NE(report.find("input format"), std::string::npos);
+  EXPECT_NE(report.find("layer 0 (conv2d)"), std::string::npos);
+  EXPECT_NE(report.find("deployment"), std::string::npos);
+  EXPECT_NE(report.find("uJ"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  const ConversionResult result = make_result();
+  ReportOptions options;
+  options.per_layer_formats = false;
+  options.hardware_metrics = false;
+  const std::string report = conversion_report(result, options);
+  EXPECT_EQ(report.find("layer 0"), std::string::npos);
+  EXPECT_EQ(report.find("deployment"), std::string::npos);
+}
+
+TEST(Report, UnmappableNetworkReportedGracefully) {
+  // A network with a Tanh layer cannot be extracted; the report must say so
+  // instead of throwing.
+  util::Rng rng{2};
+  ConversionResult result;
+  result.network.add(std::make_unique<nn::Tanh>());
+  result.spec.layer_output = {quant::DfpFormat{8, 7}};
+  result.spec.layer_max_abs = {1.0f};
+  ReportOptions options;
+  options.per_layer_formats = false;
+  const std::string report = conversion_report(result, options);
+  EXPECT_NE(report.find("not hardware-mappable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfdfp::core

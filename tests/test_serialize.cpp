@@ -1,0 +1,84 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/zoo.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Network make_net(std::uint64_t seed) {
+  util::Rng rng{seed};
+  ZooConfig config;
+  config.in_channels = 2;
+  config.in_h = config.in_w = 8;
+  config.num_classes = 3;
+  config.width_multiplier = 0.2f;
+  return make_cifar10_net(config, rng);
+}
+
+TEST(Serialize, InMemoryRoundTrip) {
+  Network a = make_net(1);
+  Network b = make_net(2);
+  util::Rng rng{3};
+  Tensor input{Shape{2, 2, 8, 8}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_FALSE(a.forward(input).equals(b.forward(input)));
+
+  weights_from_bytes(b, weights_to_bytes(a));
+  EXPECT_TRUE(a.forward(input).equals(b.forward(input)));
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mfdfp_weights.bin").string();
+  Network a = make_net(4);
+  save_weights(a, path);
+  Network b = make_net(5);
+  load_weights(b, path);
+  util::Rng rng{6};
+  Tensor input{Shape{1, 2, 8, 8}};
+  input.fill_normal(rng, 0.0f, 1.0f);
+  EXPECT_TRUE(a.forward(input).equals(b.forward(input)));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  Network a = make_net(7);
+  const std::string bytes = weights_to_bytes(a);
+
+  util::Rng rng{8};
+  ZooConfig config;
+  config.in_channels = 2;
+  config.in_h = config.in_w = 8;
+  config.num_classes = 3;
+  Network mlp = make_mlp(config, 16, rng);
+  EXPECT_THROW(weights_from_bytes(mlp, bytes), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptedStream) {
+  Network a = make_net(9);
+  std::string bytes = weights_to_bytes(a);
+  EXPECT_THROW(weights_from_bytes(a, bytes.substr(0, bytes.size() / 2)),
+               std::runtime_error);
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_THROW(weights_from_bytes(a, bad_magic), std::runtime_error);
+  std::string trailing = bytes + "junk";
+  EXPECT_THROW(weights_from_bytes(a, trailing), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  Network a = make_net(10);
+  EXPECT_THROW(load_weights(a, "/nonexistent/path/weights.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,158 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace mfdfp::tensor {
+namespace {
+
+TEST(Shape, RankAndSize) {
+  EXPECT_EQ(Shape{}.rank(), 0u);
+  EXPECT_EQ(Shape{}.size(), 1u);
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.size(), 120u);
+  EXPECT_EQ(s.n(), 2u);
+  EXPECT_EQ(s.c(), 3u);
+  EXPECT_EQ(s.h(), 4u);
+  EXPECT_EQ(s.w(), 5u);
+}
+
+TEST(Shape, RejectsZeroDims) {
+  EXPECT_THROW((Shape{0}), std::invalid_argument);
+  EXPECT_THROW((Shape{2, 0, 3}), std::invalid_argument);
+}
+
+TEST(Shape, OffsetRowMajor) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.offset(0, 0, 0, 0), 0u);
+  EXPECT_EQ(s.offset(0, 0, 0, 1), 1u);
+  EXPECT_EQ(s.offset(0, 0, 1, 0), 5u);
+  EXPECT_EQ(s.offset(0, 1, 0, 0), 20u);
+  EXPECT_EQ(s.offset(1, 0, 0, 0), 60u);
+  EXPECT_EQ(s.offset(1, 2, 3, 4), 119u);
+}
+
+TEST(Shape, OffsetRankChecks) {
+  const Shape rank2{4, 6};
+  EXPECT_EQ(rank2.offset(2, 3), 15u);
+  EXPECT_THROW(rank2.offset(0, 0, 0, 0), std::logic_error);
+  const Shape rank4{1, 1, 1, 1};
+  EXPECT_THROW(rank4.offset(0, 0), std::logic_error);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+  EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t{Shape{3, 4}};
+  for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ConstructFromValuesChecksSize) {
+  EXPECT_NO_THROW((Tensor{Shape{2, 2}, {1, 2, 3, 4}}));
+  EXPECT_THROW((Tensor{Shape{2, 2}, {1, 2, 3}}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementAccess) {
+  Tensor t{Shape{1, 2, 2, 2}};
+  t.at(0, 1, 1, 0) = 3.5f;
+  EXPECT_EQ(t[t.shape().offset(0, 1, 1, 0)], 3.5f);
+  Tensor m{Shape{2, 3}};
+  m.at2(1, 2) = -1.0f;
+  EXPECT_EQ(m[5], -1.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t{Shape{4}, {1.0f, -2.0f, 3.0f, -4.0f}};
+  EXPECT_FLOAT_EQ(t.sum(), -2.0f);
+  EXPECT_FLOAT_EQ(t.min(), -4.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_FLOAT_EQ(t.max_abs(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), -0.5f);
+}
+
+TEST(Tensor, ArgmaxAndRange) {
+  const Tensor t{Shape{6}, {0, 5, 2, 5, 9, 1}};
+  EXPECT_EQ(t.argmax(), 4u);
+  EXPECT_EQ(t.argmax(0, 4), 1u);  // first of the tied 5s
+  EXPECT_THROW(t.argmax(3, 3), std::out_of_range);
+  EXPECT_THROW(t.argmax(0, 7), std::out_of_range);
+}
+
+TEST(Tensor, AxpyAndScale) {
+  Tensor a{Shape{3}, {1, 2, 3}};
+  const Tensor b{Shape{3}, {10, 20, 30}};
+  a.axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 6.0f);
+  EXPECT_FLOAT_EQ(a[2], 18.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[1], 24.0f);
+  const Tensor wrong{Shape{4}};
+  EXPECT_THROW(a.add(wrong), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t{Shape{2, 6}};
+  t[7] = 1.25f;
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  EXPECT_EQ(r[7], 1.25f);
+  EXPECT_THROW(t.reshaped(Shape{5}), std::invalid_argument);
+}
+
+TEST(Tensor, FillsAreDeterministic) {
+  util::Rng rng_a{5}, rng_b{5};
+  Tensor a{Shape{100}}, b{Shape{100}};
+  a.fill_normal(rng_a, 0.0f, 1.0f);
+  b.fill_normal(rng_b, 0.0f, 1.0f);
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Tensor, SliceOuter) {
+  Tensor t{Shape{4, 2}};
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const Tensor s = slice_outer(t, 1, 3);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s[0], 2.0f);
+  EXPECT_EQ(s[3], 5.0f);
+  EXPECT_THROW(slice_outer(t, 3, 3), std::out_of_range);
+  EXPECT_THROW(slice_outer(t, 0, 5), std::out_of_range);
+}
+
+TEST(Tensor, GatherOuter) {
+  Tensor t{Shape{3, 2}};
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const std::vector<std::size_t> idx{2, 0, 2};
+  const Tensor g = gather_outer(t, idx);
+  EXPECT_EQ(g.shape(), (Shape{3, 2}));
+  EXPECT_EQ(g[0], 4.0f);
+  EXPECT_EQ(g[2], 0.0f);
+  EXPECT_EQ(g[4], 4.0f);
+  const std::vector<std::size_t> bad{3};
+  EXPECT_THROW(gather_outer(t, bad), std::out_of_range);
+}
+
+TEST(Tensor, MaxAbsDiff) {
+  const Tensor a{Shape{3}, {1, 2, 3}};
+  const Tensor b{Shape{3}, {1, 2.5f, 2}};
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+  const Tensor c{Shape{2}};
+  EXPECT_THROW(max_abs_diff(a, c), std::invalid_argument);
+}
+
+TEST(Tensor, KahanSumStaysAccurate) {
+  // 1 + 1e-4 * 10000 == 2 exactly with compensated summation.
+  Tensor t{Shape{10001}};
+  t[0] = 1.0f;
+  for (std::size_t i = 1; i < t.size(); ++i) t[i] = 1e-4f;
+  EXPECT_NEAR(t.sum(), 2.0f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace mfdfp::tensor

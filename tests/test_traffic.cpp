@@ -1,0 +1,82 @@
+#include "hw/traffic_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfdfp::hw {
+namespace {
+
+TEST(Traffic, FcLayerExactBytes) {
+  const std::vector<LayerWork> work{
+      {"fc", LayerWork::Kind::kFullyConnected, 1, 10, 1024}};
+  const TrafficReport mf = dma_traffic(work, mfdfp_config(1));
+  // inputs: 1024 x 8b = 1024 B; weights: 10*1024 x 4b = 5120 B; out 10 B.
+  EXPECT_EQ(mf.layers[0].input_bytes, 1024u);
+  EXPECT_EQ(mf.layers[0].weight_bytes, 5120u);
+  EXPECT_EQ(mf.layers[0].output_bytes, 10u);
+
+  const TrafficReport fp = dma_traffic(work, float_baseline_config());
+  EXPECT_EQ(fp.layers[0].input_bytes, 4096u);
+  EXPECT_EQ(fp.layers[0].weight_bytes, 40960u);
+  EXPECT_EQ(fp.layers[0].output_bytes, 40u);
+}
+
+TEST(Traffic, MfDfpMovesRoughlyEightTimesLess) {
+  // Weight-dominated workloads approach the 8x parameter compression of
+  // Table 3; activations contribute 4x, so the whole-network ratio lies in
+  // (4, 8).
+  const auto work = paper_imagenet_workload();
+  const TrafficReport mf = dma_traffic(work, mfdfp_config(1));
+  const TrafficReport fp = dma_traffic(work, float_baseline_config());
+  const double ratio = static_cast<double>(fp.total_bytes) /
+                       static_cast<double>(mf.total_bytes);
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LE(ratio, 8.0);
+}
+
+TEST(Traffic, WeightRefetchWhenBufferTooSmall) {
+  // A conv working set far above the weight buffer must be re-streamed.
+  const std::vector<LayerWork> work{
+      {"conv", LayerWork::Kind::kConv, 1024, 512, 2304}};
+  AcceleratorConfig small = mfdfp_config(1);
+  small.weight_buffer_entries = 1024;  // 512 B of nibbles
+  const TrafficReport constrained = dma_traffic(work, small);
+  const TrafficReport roomy = dma_traffic(work, mfdfp_config(1));
+  EXPECT_GT(constrained.layers[0].weight_refetches,
+            roomy.layers[0].weight_refetches);
+  EXPECT_GT(constrained.layers[0].weight_bytes,
+            roomy.layers[0].weight_bytes);
+}
+
+TEST(Traffic, PoolAndReluAreActivationOnly) {
+  const std::vector<LayerWork> work{
+      {"pool", LayerWork::Kind::kPool, 64, 16, 4},
+      {"relu", LayerWork::Kind::kElementwise, 64, 16, 1}};
+  const TrafficReport report = dma_traffic(work, mfdfp_config(1));
+  EXPECT_EQ(report.layers[0].weight_bytes, 0u);
+  EXPECT_EQ(report.layers[1].weight_bytes, 0u);
+  EXPECT_EQ(report.layers[1].input_bytes, report.layers[1].output_bytes);
+}
+
+TEST(Traffic, BandwidthDerivedFromLatency) {
+  const auto work = paper_cifar10_workload();
+  const AcceleratorConfig mf = mfdfp_config(1);
+  const TrafficReport report = dma_traffic(work, mf);
+  const double seconds = count_cycles(work, mf).seconds(mf);
+  const double gbps = report.required_bandwidth_gbps(seconds);
+  EXPECT_GT(gbps, 0.0);
+  EXPECT_LT(gbps, 100.0);  // sanity: well under HBM territory
+  EXPECT_EQ(report.required_bandwidth_gbps(0.0), 0.0);
+}
+
+TEST(Traffic, TotalsAreLayerSums) {
+  const auto work = paper_cifar10_workload();
+  const TrafficReport report = dma_traffic(work, mfdfp_config(1));
+  std::uint64_t sum = 0;
+  for (const LayerTraffic& layer : report.layers) {
+    sum += layer.total_bytes();
+  }
+  EXPECT_EQ(report.total_bytes, sum);
+}
+
+}  // namespace
+}  // namespace mfdfp::hw

@@ -1,0 +1,141 @@
+#include "nn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hpp"
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Trivially separable two-class problem: sign of the mean pixel.
+struct Toy {
+  Tensor train_images{Shape{64, 1, 2, 2}};
+  std::vector<int> train_labels;
+  Tensor val_images{Shape{32, 1, 2, 2}};
+  std::vector<int> val_labels;
+
+  Toy() {
+    util::Rng rng{3};
+    auto fill = [&](Tensor& images, std::vector<int>& labels) {
+      labels.resize(images.shape().dim(0));
+      for (std::size_t n = 0; n < labels.size(); ++n) {
+        const int label = static_cast<int>(n % 2);
+        labels[n] = label;
+        for (std::size_t i = 0; i < 4; ++i) {
+          const float base = label == 0 ? -0.5f : 0.5f;
+          images[n * 4 + i] = base + rng.uniform_f(-0.2f, 0.2f);
+        }
+      }
+    };
+    fill(train_images, train_labels);
+    fill(val_images, val_labels);
+  }
+};
+
+Network toy_net(std::uint64_t seed) {
+  util::Rng rng{seed};
+  ZooConfig config;
+  config.in_channels = 1;
+  config.in_h = config.in_w = 2;
+  config.num_classes = 2;
+  return make_mlp(config, 4, rng);
+}
+
+TEST(Trainer, LearnsSeparableProblem) {
+  Toy toy;
+  Network net = toy_net(1);
+  SgdOptimizer optimizer({0.1f, 0.9f, 0.0f});
+  TrainConfig config;
+  config.batch_size = 8;
+  config.max_epochs = 10;
+  util::Rng rng{5};
+  const auto history =
+      train(net, toy.train_images, toy.train_labels, toy.val_images,
+            toy.val_labels, hard_label_loss(), optimizer, config, rng);
+  ASSERT_EQ(history.size(), 10u);
+  EXPECT_LT(history.back().val_top1_error, 0.1f);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+}
+
+TEST(Trainer, EarlyStopViaCallback) {
+  Toy toy;
+  Network net = toy_net(2);
+  SgdOptimizer optimizer({0.05f, 0.0f, 0.0f});
+  TrainConfig config;
+  config.max_epochs = 50;
+  config.on_epoch = [](std::size_t epoch, float, float) {
+    return epoch < 2;  // stop after the 3rd epoch
+  };
+  util::Rng rng{6};
+  const auto history =
+      train(net, toy.train_images, toy.train_labels, toy.val_images,
+            toy.val_labels, hard_label_loss(), optimizer, config, rng);
+  EXPECT_EQ(history.size(), 3u);
+}
+
+TEST(Trainer, DeterministicWithSameSeed) {
+  Toy toy;
+  auto run = [&] {
+    Network net = toy_net(3);
+    SgdOptimizer optimizer({0.05f, 0.9f, 1e-4f});
+    TrainConfig config;
+    config.max_epochs = 3;
+    util::Rng rng{7};
+    return train(net, toy.train_images, toy.train_labels, toy.val_images,
+                 toy.val_labels, hard_label_loss(), optimizer, config, rng);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].train_loss, b[i].train_loss);
+    EXPECT_EQ(a[i].val_top1_error, b[i].val_top1_error);
+  }
+}
+
+TEST(Trainer, LossCallbackSeesBatchIndices) {
+  Toy toy;
+  Network net = toy_net(4);
+  SgdOptimizer optimizer({0.01f, 0.0f, 0.0f});
+  TrainConfig config;
+  config.max_epochs = 1;
+  config.batch_size = 16;
+  config.shuffle = false;
+  std::vector<std::size_t> seen;
+  LossFn loss = [&](const Tensor& logits, std::span<const int> labels,
+                    std::span<const std::size_t> indices) {
+    seen.insert(seen.end(), indices.begin(), indices.end());
+    return softmax_cross_entropy(logits, labels);
+  };
+  util::Rng rng{8};
+  train(net, toy.train_images, toy.train_labels, toy.val_images,
+        toy.val_labels, loss, optimizer, config, rng);
+  // Without shuffling, indices are 0..63 in order.
+  ASSERT_EQ(seen.size(), 64u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(Trainer, RejectsBadConfig) {
+  Toy toy;
+  Network net = toy_net(5);
+  SgdOptimizer optimizer({0.01f, 0.0f, 0.0f});
+  util::Rng rng{9};
+  TrainConfig zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(train(net, toy.train_images, toy.train_labels,
+                     toy.val_images, toy.val_labels, hard_label_loss(),
+                     optimizer, zero_batch, rng),
+               std::invalid_argument);
+  TrainConfig config;
+  std::vector<int> wrong_labels{0, 1};
+  EXPECT_THROW(train(net, toy.train_images, wrong_labels, toy.val_images,
+                     toy.val_labels, hard_label_loss(), optimizer, config,
+                     rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::nn

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/csv.hpp"
+#include "util/logging.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace mfdfp::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  TablePrinter table("title");
+  table.set_header({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "23"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, RejectsWidthMismatch) {
+  TablePrinter table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumbersRightAligned) {
+  TablePrinter table;
+  table.set_header({"k", "v"});
+  table.add_row({"x", "1"});
+  table.add_row({"y", "1000"});
+  const std::string out = table.to_string();
+  // "1" must be padded to the width of "1000" -> appears as "   1".
+  EXPECT_NE(out.find("   1\n"), std::string::npos);
+}
+
+TEST(Formatting, FixedAndPercent) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt_percent(0.8979, 2), "89.79");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100");
+}
+
+TEST(Csv, EscapesSpecialCells) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, SerializesHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row(std::vector<std::string>{"1", "x,y"});
+  csv.add_row(std::vector<double>{2.5, 3.0});
+  const std::string out = csv.to_string();
+  EXPECT_EQ(out, "a,b\n1,\"x,y\"\n2.5,3\n");
+  EXPECT_EQ(csv.row_count(), 2u);
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<std::string>{"1"}),
+               std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+  const std::string path = "/tmp/mfdfp_test.csv";
+  CsvWriter csv({"x"});
+  csv.add_row(std::vector<std::string>{"1"});
+  EXPECT_TRUE(csv.write_file(path));
+  EXPECT_FALSE(csv.write_file("/nonexistent-dir/file.csv"));
+  std::remove(path.c_str());
+}
+
+TEST(Logging, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // These must not crash; output goes to stderr.
+  log_debug("dropped");
+  log_error("emitted");
+  logf(LogLevel::kInfo) << "dropped " << 42;
+  set_log_level(saved);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_GE(watch.millis(), 10.0);
+  watch.reset();
+  EXPECT_LT(watch.millis(), 10.0);
+}
+
+}  // namespace
+}  // namespace mfdfp::util

@@ -1,0 +1,97 @@
+#include "nn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfdfp::nn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Zoo, Cifar10NetShapes) {
+  util::Rng rng{1};
+  ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 32;
+  config.num_classes = 10;
+  Network net = make_cifar10_net(config, rng);
+  EXPECT_EQ(net.output_shape(Shape{4, 3, 32, 32}), (Shape{4, 10}));
+  // conv1 3->32, conv2 32->32, conv3 32->64, fc 64*4*4->10.
+  EXPECT_EQ(net.param_count(),
+            32 * 3 * 25 + 32 + 32 * 32 * 25 + 32 + 64 * 32 * 25 + 64 +
+                10 * 64 * 16 + 10);
+}
+
+TEST(Zoo, Cifar10NetSmallInput) {
+  util::Rng rng{2};
+  ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 16;
+  config.num_classes = 10;
+  config.width_multiplier = 0.25f;
+  Network net = make_cifar10_net(config, rng);
+  EXPECT_EQ(net.output_shape(Shape{2, 3, 16, 16}), (Shape{2, 10}));
+}
+
+TEST(Zoo, RejectsNonDivisibleInput) {
+  util::Rng rng{3};
+  ZooConfig config;
+  config.in_h = config.in_w = 20;  // not divisible by 8
+  EXPECT_THROW(make_cifar10_net(config, rng), std::invalid_argument);
+  EXPECT_THROW(make_alexnet_mini(config, rng), std::invalid_argument);
+}
+
+TEST(Zoo, AlexnetMiniShapes) {
+  util::Rng rng{4};
+  ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 24;
+  config.num_classes = 20;
+  config.width_multiplier = 0.5f;
+  Network net = make_alexnet_mini(config, rng);
+  EXPECT_EQ(net.output_shape(Shape{3, 3, 24, 24}), (Shape{3, 20}));
+}
+
+TEST(Zoo, WidthMultiplierScalesParams) {
+  util::Rng rng{5};
+  ZooConfig narrow, wide;
+  narrow.width_multiplier = 0.25f;
+  wide.width_multiplier = 1.0f;
+  Network a = make_cifar10_net(narrow, rng);
+  Network b = make_cifar10_net(wide, rng);
+  EXPECT_LT(a.param_count(), b.param_count());
+}
+
+TEST(Zoo, MlpShapes) {
+  util::Rng rng{6};
+  ZooConfig config;
+  config.in_channels = 1;
+  config.in_h = config.in_w = 4;
+  config.num_classes = 3;
+  Network net = make_mlp(config, 8, rng);
+  EXPECT_EQ(net.output_shape(Shape{5, 1, 4, 4}), (Shape{5, 3}));
+  EXPECT_EQ(net.param_count(), 16u * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(Zoo, ForwardRuns) {
+  util::Rng rng{7};
+  ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 16;
+  config.num_classes = 10;
+  config.width_multiplier = 0.25f;
+  auto check = [&](Network net) {
+    Tensor input{Shape{2, 3, 16, 16}};
+    input.fill_normal(rng, 0.0f, 1.0f);
+    const Tensor out = net.forward(input);
+    EXPECT_EQ(out.shape(), (Shape{2, 10}));
+    for (float v : out.data()) EXPECT_TRUE(std::isfinite(v));
+  };
+  check(make_cifar10_net(config, rng));
+  check(make_alexnet_mini(config, rng));
+}
+
+}  // namespace
+}  // namespace mfdfp::nn
