@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the serving throughput bench and leaves BENCH_serve.json (throughput,
+# p99, speedup) in the repo root for the perf trajectory.
+#
+# Usage: scripts/run_bench.sh [build-dir]   (default: build)
+# Respects MFDFP_QUICK=1 for a ~4x faster run.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if [[ ! -x "$build_dir/serve_throughput" ]]; then
+  echo "building serve_throughput in $build_dir..."
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j "$(nproc)" --target serve_throughput
+fi
+
+"$build_dir/serve_throughput" "$repo_root/BENCH_serve.json"
+echo "---"
+cat "$repo_root/BENCH_serve.json"

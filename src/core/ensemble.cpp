@@ -38,6 +38,21 @@ EnsembleResult EnsembleBuilder::build(const FloatNetFactory& factory,
   return result;
 }
 
+std::vector<hw::QNetDesc> extract_member_qnets(const EnsembleResult& ensemble,
+                                               const std::string& name) {
+  if (ensemble.members.empty()) {
+    throw std::invalid_argument("extract_member_qnets: empty ensemble");
+  }
+  std::vector<hw::QNetDesc> qnets;
+  qnets.reserve(ensemble.members.size());
+  for (std::size_t m = 0; m < ensemble.members.size(); ++m) {
+    const ConversionResult& member = ensemble.members[m];
+    qnets.push_back(hw::extract_qnet(member.network, member.spec,
+                                     name + "/" + std::to_string(m)));
+  }
+  return qnets;
+}
+
 nn::EvalResult evaluate_mfdfp_ensemble(EnsembleResult& ensemble,
                                        const tensor::Tensor& images,
                                        std::span<const int> labels) {

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "core/converter.hpp"
+#include "hw/qnet.hpp"
 
 namespace mfdfp::core {
 
@@ -52,5 +53,11 @@ class EnsembleBuilder {
 [[nodiscard]] nn::EvalResult evaluate_mfdfp_ensemble(
     EnsembleResult& ensemble, const tensor::Tensor& images,
     std::span<const int> labels);
+
+/// Extracts one deployment image per member (named "<name>/0", "<name>/1",
+/// ...) — the model list a serve::InferenceEngine deploys for engine-side
+/// averaged-logit ensemble inference.
+[[nodiscard]] std::vector<hw::QNetDesc> extract_member_qnets(
+    const EnsembleResult& ensemble, const std::string& name = "ensemble");
 
 }  // namespace mfdfp::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace mfdfp::hw {
 
@@ -19,20 +20,26 @@ Tensor CodeTensor::decode() const {
   return out;
 }
 
-CodeTensor CodeTensor::encode(const Tensor& values, int frac) {
+void CodeTensor::encode_into(const Tensor& values, int frac, CodeTensor& out) {
   const DfpFormat format{kInputBits, frac};
-  CodeTensor out;
   out.shape = values.shape();
   out.frac = frac;
   out.codes.resize(values.size());
   for (std::size_t i = 0; i < values.size(); ++i) {
     out.codes[i] = static_cast<std::int8_t>(format.encode(values[i]));
   }
+}
+
+CodeTensor CodeTensor::encode(const Tensor& values, int frac) {
+  CodeTensor out;
+  encode_into(values, frac, out);
   return out;
 }
 
-AcceleratorExecutor::AcceleratorExecutor(const QNetDesc& desc) : desc_(desc) {
+AcceleratorExecutor::AcceleratorExecutor(QNetDesc desc)
+    : desc_(std::move(desc)) {
   decoded_weights_.resize(desc_.layers.size());
+  fast_weights_.resize(desc_.layers.size());
   for (std::size_t i = 0; i < desc_.layers.size(); ++i) {
     const std::vector<std::uint8_t>* packed = nullptr;
     std::size_t count = 0;
@@ -49,12 +56,19 @@ AcceleratorExecutor::AcceleratorExecutor(const QNetDesc& desc) : desc_(desc) {
       throw std::invalid_argument("AcceleratorExecutor: short weight stream");
     }
     auto& decoded = decoded_weights_[i];
+    auto& fast = fast_weights_[i];
     decoded.resize(count);
+    fast.resize(count);
     for (std::size_t k = 0; k < count; ++k) {
       const std::uint8_t byte = (*packed)[k / 2];
       const std::uint8_t nibble =
           (k % 2 == 0) ? (byte & 0xF) : static_cast<std::uint8_t>(byte >> 4);
       decoded[k] = quant::decode_nibble(nibble);
+      // synapse_product as a plain multiplier: x * (+/-2^(7+e)), same
+      // 2^-(m+7) units — the batched kernels' integer dot product.
+      const std::int32_t magnitude =
+          std::int32_t{1} << (kProductFracBits + decoded[k].exponent);
+      fast[k] = decoded[k].negative ? -magnitude : magnitude;
     }
   }
 }
@@ -88,29 +102,96 @@ std::int32_t neuron_dot(std::span<const std::int8_t> input_codes,
   return acc.route();
 }
 
+/// Layer geometry shared by the reference and fast conv kernels.
+struct ConvGeometry {
+  std::size_t batch, ih, iw, oh, ow, patch;
+};
+
+ConvGeometry conv_geometry(const QConv& conv, const Shape& in_shape,
+                           const char* who) {
+  if (in_shape.rank() != 4 || in_shape.c() != conv.in_c) {
+    throw std::invalid_argument(std::string(who) + ": bad input shape");
+  }
+  ConvGeometry g;
+  g.batch = in_shape.n();
+  g.ih = in_shape.h();
+  g.iw = in_shape.w();
+  g.oh = (g.ih + 2 * conv.pad - conv.kernel) / conv.stride + 1;
+  g.ow = (g.iw + 2 * conv.pad - conv.kernel) / conv.stride + 1;
+  g.patch = conv.in_c * conv.kernel * conv.kernel;
+  return g;
+}
+
+/// In-place ReLU + refrac stage, shared by the reference and fast layer
+/// loops (the run_batch == run bit-identity depends on there being exactly
+/// one implementation of this rounding).
+void apply_relu(CodeTensor& input, int out_frac) {
+  for (std::int8_t& code : input.codes) {
+    const std::int32_t rectified = std::max<std::int32_t>(0, code);
+    code = static_cast<std::int8_t>(
+        convert_code(rectified, input.frac, out_frac));
+  }
+  input.frac = out_frac;
+}
+
+/// In-place flatten (+ refrac when the output format differs), shared by
+/// both layer loops for the same reason as apply_relu.
+void apply_flatten(CodeTensor& input, int out_frac) {
+  std::size_t features = 1;
+  for (std::size_t axis = 1; axis < input.shape.rank(); ++axis) {
+    features *= input.shape.dim(axis);
+  }
+  input.shape = Shape{input.shape.dim(0), features};
+  if (out_frac != input.frac) {
+    for (std::int8_t& code : input.codes) {
+      code = static_cast<std::int8_t>(
+          convert_code(code, input.frac, out_frac));
+    }
+    input.frac = out_frac;
+  }
+}
+
+/// Fast-path neuron: exact integer dot product with the +/-2^(7+e)
+/// multiplier table, then the same Accumulator & Routing arithmetic as the
+/// reference path (one accumulate of the full sum — integer addition is
+/// exact, so the result matches tile-wise accumulation bit for bit).
+std::int32_t fast_neuron_dot(const std::int8_t* codes,
+                             const std::size_t* index, std::size_t base,
+                             const std::int32_t* weights, std::size_t count,
+                             int in_frac, int out_frac,
+                             std::int32_t bias_code) {
+  std::int64_t sum = 0;
+  if (index != nullptr) {
+    for (std::size_t k = 0; k < count; ++k) {
+      if (index[k] == SIZE_MAX) continue;  // padded tap -> zero input
+      sum += static_cast<std::int64_t>(codes[base + index[k]]) * weights[k];
+    }
+  } else {
+    for (std::size_t k = 0; k < count; ++k) {
+      sum += static_cast<std::int64_t>(codes[k]) * weights[k];
+    }
+  }
+  AccumulatorRouting acc(in_frac, out_frac, bias_code);
+  acc.accumulate(sum);
+  return acc.route();
+}
+
 }  // namespace
 
-CodeTensor AcceleratorExecutor::run_conv(const QConv& conv,
-                                         std::span<const Pow2Weight> weights,
-                                         const CodeTensor& input) const {
-  const Shape& in_shape = input.shape;
-  if (in_shape.rank() != 4 || in_shape.c() != conv.in_c) {
-    throw std::invalid_argument("run_conv: bad input shape");
-  }
-  const std::size_t batch = in_shape.n();
-  const std::size_t ih = in_shape.h(), iw = in_shape.w();
+void AcceleratorExecutor::run_conv(const QConv& conv,
+                                   std::span<const Pow2Weight> weights,
+                                   const CodeTensor& input, CodeTensor& out,
+                                   std::vector<std::size_t>& index) const {
+  const auto [batch, ih, iw, oh, ow, patch] =
+      conv_geometry(conv, input.shape, "run_conv");
   const std::size_t k = conv.kernel;
-  const std::size_t oh = (ih + 2 * conv.pad - k) / conv.stride + 1;
-  const std::size_t ow = (iw + 2 * conv.pad - k) / conv.stride + 1;
-  const std::size_t patch = conv.in_c * k * k;
 
-  CodeTensor out;
   out.shape = Shape{batch, conv.out_c, oh, ow};
   out.frac = conv.out_frac;
   out.codes.resize(out.shape.size());
 
   // Patch gather indices (SIZE_MAX marks a padded tap -> zero input).
-  std::vector<std::size_t> index(patch);
+  index.resize(patch);
   std::size_t out_i = 0;
   for (std::size_t n = 0; n < batch; ++n) {
     const std::size_t image_base = n * conv.in_c * ih * iw;
@@ -151,17 +232,16 @@ CodeTensor AcceleratorExecutor::run_conv(const QConv& conv,
       }
     }
   }
-  return out;
 }
 
-CodeTensor AcceleratorExecutor::run_fc(const QFullyConnected& fc,
-                                       std::span<const Pow2Weight> weights,
-                                       const CodeTensor& input) const {
+void AcceleratorExecutor::run_fc(const QFullyConnected& fc,
+                                 std::span<const Pow2Weight> weights,
+                                 const CodeTensor& input,
+                                 CodeTensor& out) const {
   if (input.shape.rank() != 2 || input.shape.dim(1) != fc.in_features) {
     throw std::invalid_argument("run_fc: bad input shape");
   }
   const std::size_t batch = input.shape.dim(0);
-  CodeTensor out;
   out.shape = Shape{batch, fc.out_features};
   out.frac = fc.out_frac;
   out.codes.resize(out.shape.size());
@@ -176,18 +256,16 @@ CodeTensor AcceleratorExecutor::run_fc(const QFullyConnected& fc,
                      fc.bias_codes[o]));
     }
   }
-  return out;
 }
 
-CodeTensor AcceleratorExecutor::run_pool(const QPool& pool,
-                                         const CodeTensor& input) const {
+void AcceleratorExecutor::run_pool(const QPool& pool, const CodeTensor& input,
+                                   CodeTensor& out) const {
   const Shape& s = input.shape;
   if (s.rank() != 4) throw std::invalid_argument("run_pool: rank-4 required");
   const std::size_t ih = s.h(), iw = s.w();
   const std::size_t oh = (ih + 2 * pool.pad - pool.window) / pool.stride + 1;
   const std::size_t ow = (iw + 2 * pool.pad - pool.window) / pool.stride + 1;
 
-  CodeTensor out;
   out.shape = Shape{s.n(), s.c(), oh, ow};
   out.frac = pool.out_frac;
   out.codes.resize(out.shape.size());
@@ -239,38 +317,132 @@ CodeTensor AcceleratorExecutor::run_pool(const QPool& pool,
       }
     }
   }
-  return out;
 }
 
-CodeTensor AcceleratorExecutor::run_codes(CodeTensor input) const {
+void AcceleratorExecutor::run_conv_fast(const QConv& conv,
+                                        std::span<const std::int32_t> weights,
+                                        const CodeTensor& input,
+                                        CodeTensor& out,
+                                        std::vector<std::size_t>& index) const {
+  const auto [batch, ih, iw, oh, ow, patch] =
+      conv_geometry(conv, input.shape, "run_conv_fast");
+  const std::size_t k = conv.kernel;
+
+  out.shape = Shape{batch, conv.out_c, oh, ow};
+  out.frac = conv.out_frac;
+  out.codes.resize(out.shape.size());
+
+  // Build the patch gather table once per invocation: indices are relative
+  // to the sample's image base, so one table serves every sample of the
+  // batch and every output channel (the per-pixel rebuild the reference
+  // path does in its inner loop is the single hottest overhead there).
+  index.resize(oh * ow * patch);
+  for (std::size_t oy = 0; oy < oh; ++oy) {
+    for (std::size_t ox = 0; ox < ow; ++ox) {
+      std::size_t* row = index.data() + (oy * ow + ox) * patch;
+      std::size_t p = 0;
+      for (std::size_t c = 0; c < conv.in_c; ++c) {
+        for (std::size_t ky = 0; ky < k; ++ky) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * conv.stride + ky) -
+              static_cast<std::ptrdiff_t>(conv.pad);
+          for (std::size_t kx = 0; kx < k; ++kx, ++p) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * conv.stride + kx) -
+                static_cast<std::ptrdiff_t>(conv.pad);
+            const bool inside =
+                iy >= 0 && iy < static_cast<std::ptrdiff_t>(ih) && ix >= 0 &&
+                ix < static_cast<std::ptrdiff_t>(iw);
+            row[p] = inside
+                         ? (c * ih + static_cast<std::size_t>(iy)) * iw +
+                               static_cast<std::size_t>(ix)
+                         : SIZE_MAX;
+          }
+        }
+      }
+    }
+  }
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::size_t image_base = n * conv.in_c * ih * iw;
+    for (std::size_t pixel = 0; pixel < oh * ow; ++pixel) {
+      const std::size_t* row = index.data() + pixel * patch;
+      for (std::size_t oc = 0; oc < conv.out_c; ++oc) {
+        out.codes[(n * conv.out_c + oc) * oh * ow + pixel] =
+            static_cast<std::int8_t>(fast_neuron_dot(
+                input.codes.data(), row, image_base,
+                weights.data() + oc * patch, patch, input.frac,
+                conv.out_frac, conv.bias_codes[oc]));
+      }
+    }
+  }
+}
+
+void AcceleratorExecutor::run_fc_fast(const QFullyConnected& fc,
+                                      std::span<const std::int32_t> weights,
+                                      const CodeTensor& input,
+                                      CodeTensor& out) const {
+  if (input.shape.rank() != 2 || input.shape.dim(1) != fc.in_features) {
+    throw std::invalid_argument("run_fc_fast: bad input shape");
+  }
+  const std::size_t batch = input.shape.dim(0);
+  out.shape = Shape{batch, fc.out_features};
+  out.frac = fc.out_frac;
+  out.codes.resize(out.shape.size());
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::int8_t* row = input.codes.data() + n * fc.in_features;
+    for (std::size_t o = 0; o < fc.out_features; ++o) {
+      out.codes[n * fc.out_features + o] = static_cast<std::int8_t>(
+          fast_neuron_dot(row, nullptr, 0, weights.data() + o * fc.in_features,
+                          fc.in_features, input.frac, fc.out_frac,
+                          fc.bias_codes[o]));
+    }
+  }
+}
+
+void AcceleratorExecutor::run_codes_scratch(ExecScratch& scratch) const {
+  CodeTensor& input = scratch.input;
+  CodeTensor& out = scratch.output;
   for (std::size_t i = 0; i < desc_.layers.size(); ++i) {
     const QLayer& layer = desc_.layers[i];
     if (const auto* conv = std::get_if<QConv>(&layer)) {
-      input = run_conv(*conv, decoded_weights_[i], input);
+      run_conv_fast(*conv, fast_weights_[i], input, out, scratch.index);
+      std::swap(input, out);
     } else if (const auto* fc = std::get_if<QFullyConnected>(&layer)) {
-      input = run_fc(*fc, decoded_weights_[i], input);
+      run_fc_fast(*fc, fast_weights_[i], input, out);
+      std::swap(input, out);
     } else if (const auto* pool = std::get_if<QPool>(&layer)) {
-      input = run_pool(*pool, input);
+      run_pool(*pool, input, out);
+      std::swap(input, out);
     } else if (const auto* relu = std::get_if<QRelu>(&layer)) {
-      for (std::int8_t& code : input.codes) {
-        const std::int32_t rectified = std::max<std::int32_t>(0, code);
-        code = static_cast<std::int8_t>(
-            convert_code(rectified, input.frac, relu->out_frac));
-      }
-      input.frac = relu->out_frac;
+      apply_relu(input, relu->out_frac);
     } else if (const auto* flat = std::get_if<QFlatten>(&layer)) {
-      std::size_t features = 1;
-      for (std::size_t axis = 1; axis < input.shape.rank(); ++axis) {
-        features *= input.shape.dim(axis);
-      }
-      input.shape = Shape{input.shape.dim(0), features};
-      if (flat->out_frac != input.frac) {
-        for (std::int8_t& code : input.codes) {
-          code = static_cast<std::int8_t>(
-              convert_code(code, input.frac, flat->out_frac));
-        }
-        input.frac = flat->out_frac;
-      }
+      apply_flatten(input, flat->out_frac);
+    }
+  }
+}
+
+CodeTensor AcceleratorExecutor::run_codes(CodeTensor input) const {
+  // Reference path: every conv/FC neuron goes through the width-asserted
+  // shift datapath (synapse_product / adder_tree), exactly as the NPU
+  // schedules it. The batched fast path must match this bit for bit.
+  CodeTensor out;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < desc_.layers.size(); ++i) {
+    const QLayer& layer = desc_.layers[i];
+    if (const auto* conv = std::get_if<QConv>(&layer)) {
+      run_conv(*conv, decoded_weights_[i], input, out, index);
+      std::swap(input, out);
+    } else if (const auto* fc = std::get_if<QFullyConnected>(&layer)) {
+      run_fc(*fc, decoded_weights_[i], input, out);
+      std::swap(input, out);
+    } else if (const auto* pool = std::get_if<QPool>(&layer)) {
+      run_pool(*pool, input, out);
+      std::swap(input, out);
+    } else if (const auto* relu = std::get_if<QRelu>(&layer)) {
+      apply_relu(input, relu->out_frac);
+    } else if (const auto* flat = std::get_if<QFlatten>(&layer)) {
+      apply_flatten(input, flat->out_frac);
     }
   }
   return input;
@@ -281,6 +453,13 @@ Tensor AcceleratorExecutor::run(const Tensor& images) const {
   return run_codes(input).decode();
 }
 
+Tensor AcceleratorExecutor::run_batch(const Tensor& images,
+                                      ExecScratch& scratch) const {
+  CodeTensor::encode_into(images, desc_.input_frac, scratch.input);
+  run_codes_scratch(scratch);
+  return scratch.input.decode();
+}
+
 Tensor run_ensemble(std::span<const AcceleratorExecutor* const> members,
                     const Tensor& images) {
   if (members.empty()) {
@@ -289,6 +468,19 @@ Tensor run_ensemble(std::span<const AcceleratorExecutor* const> members,
   Tensor sum = members.front()->run(images);
   for (std::size_t m = 1; m < members.size(); ++m) {
     sum.add(members[m]->run(images));
+  }
+  sum.scale(1.0f / static_cast<float>(members.size()));
+  return sum;
+}
+
+Tensor run_ensemble_batch(std::span<const AcceleratorExecutor* const> members,
+                          const Tensor& images, ExecScratch& scratch) {
+  if (members.empty()) {
+    throw std::invalid_argument("run_ensemble_batch: no members");
+  }
+  Tensor sum = members.front()->run_batch(images, scratch);
+  for (std::size_t m = 1; m < members.size(); ++m) {
+    sum.add(members[m]->run_batch(images, scratch));
   }
   sum.scale(1.0f / static_cast<float>(members.size()));
   return sum;

@@ -1,0 +1,51 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stopwatch.hpp"
+
+namespace mfdfp::serve {
+
+DynamicBatcher::DynamicBatcher(RequestQueue& queue, BatcherConfig config)
+    : queue_(queue), config_(config) {
+  if (config_.max_batch == 0) {
+    throw std::invalid_argument("DynamicBatcher: max_batch must be >= 1");
+  }
+  config_.max_wait_us = std::max<std::int64_t>(0, config_.max_wait_us);
+}
+
+bool DynamicBatcher::next_batch(std::vector<Request>& batch,
+                                std::vector<Request>& expired) {
+  batch.clear();
+  expired.clear();
+
+  Request first;
+  if (!queue_.pop(first)) return false;
+
+  // Close the batch max_wait_us after the oldest member arrived. If the
+  // request already aged past that in the queue (heavy backlog), the
+  // deadline is in the past and coalescing is a single non-blocking sweep.
+  const std::int64_t close_at = first.enqueue_us + config_.max_wait_us;
+  batch.push_back(std::move(first));
+  if (config_.max_batch > 1) {
+    queue_.wait_for_items(config_.max_batch - 1, close_at);
+    queue_.try_pop_n(batch, config_.max_batch - 1);
+  }
+
+  // Fail requests that expired while queued; keep the live ones in order.
+  const std::int64_t now = util::Stopwatch::now_us();
+  auto alive_end = std::stable_partition(
+      batch.begin(), batch.end(), [now](const Request& r) {
+        return r.deadline_us == 0 || now <= r.deadline_us;
+      });
+  for (auto it = alive_end; it != batch.end(); ++it) {
+    fail_request(*it, "deadline exceeded");
+    expired.push_back(std::move(*it));
+  }
+  batch.erase(alive_end, batch.end());
+  return true;
+}
+
+}  // namespace mfdfp::serve

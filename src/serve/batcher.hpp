@@ -1,0 +1,44 @@
+// Dynamic batcher: coalesces queued requests into executor-sized batches.
+//
+// Policy (the standard serving trade-off): a batch closes as soon as
+// `max_batch` requests are pending, or `max_wait_us` after the *oldest*
+// request in the batch was enqueued — so batching adds at most `max_wait_us`
+// to any request's latency, and under load batches fill instantly and the
+// wait never triggers. Requests whose deadline already expired when the
+// batch forms are failed immediately instead of wasting accelerator time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace mfdfp::serve {
+
+struct BatcherConfig {
+  std::size_t max_batch = 8;
+  std::int64_t max_wait_us = 2000;
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, BatcherConfig config);
+
+  /// Blocks for the next batch. Returns false when the queue is closed and
+  /// drained (worker should exit). On true, `batch` holds up to max_batch
+  /// requests in FIFO order (possibly zero, if every candidate expired), and
+  /// `expired` holds any requests that missed their deadline while queued
+  /// (already failed — the caller only gets them for stats accounting).
+  [[nodiscard]] bool next_batch(std::vector<Request>& batch,
+                                std::vector<Request>& expired);
+
+  [[nodiscard]] const BatcherConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  RequestQueue& queue_;
+  BatcherConfig config_;
+};
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,178 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "hw/cycle_model.hpp"
+#include "hw/traffic_model.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mfdfp::serve {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
+                                 EngineConfig config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      batcher_(queue_, BatcherConfig{config.max_batch, config.max_wait_us}) {
+  if (members.empty()) {
+    throw std::invalid_argument("InferenceEngine: no model members");
+  }
+  if (config_.workers == 0) config_.workers = 1;
+
+  executors_.reserve(members.size());
+  for (hw::QNetDesc& desc : members) {
+    // Precompute this member's simulated per-inference cost. Ensemble
+    // members run on parallel processing units, so batch latency is the max
+    // over members while DMA is their sum.
+    const std::vector<hw::LayerWork> work = hw::workload_from_qnet(
+        desc, config_.in_c, config_.in_h, config_.in_w);
+    const hw::CycleReport cycles = hw::count_cycles(work, config_.accel);
+    sample_accel_us_ =
+        std::max(sample_accel_us_, cycles.microseconds(config_.accel));
+    const hw::TrafficReport traffic = hw::dma_traffic(work, config_.accel);
+    for (const hw::LayerTraffic& layer : traffic.layers) {
+      weight_dma_bytes_ += static_cast<double>(layer.weight_bytes);
+      act_dma_bytes_ +=
+          static_cast<double>(layer.input_bytes + layer.output_bytes);
+    }
+
+    executors_.push_back(
+        std::make_unique<hw::AcceleratorExecutor>(std::move(desc)));
+  }
+  member_ptrs_.reserve(executors_.size());
+  for (const auto& executor : executors_) {
+    member_ptrs_.push_back(executor.get());
+  }
+
+  workers_.start(config_.workers,
+                 [this](std::size_t index) { worker_main(index); });
+}
+
+InferenceEngine::~InferenceEngine() { stop(); }
+
+std::future<Response> InferenceEngine::submit(Tensor sample,
+                                              std::int64_t deadline_us) {
+  Request request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.input = std::move(sample);
+  request.enqueue_us = util::Stopwatch::now_us();
+  if (deadline_us < 0) {
+    request.deadline_us =
+        config_.default_deadline_us > 0
+            ? request.enqueue_us + config_.default_deadline_us
+            : 0;
+  } else {
+    request.deadline_us = deadline_us;
+  }
+  std::future<Response> future = request.promise.get_future();
+
+  // Exact-dimension check: a permuted layout with the right element count
+  // would be served as scrambled data, not rejected.
+  const Shape& shape = request.input.shape();
+  const std::size_t axis0 = shape.rank() == 4 ? 1 : 0;
+  const bool shape_ok =
+      (shape.rank() == 3 || (shape.rank() == 4 && shape.dim(0) == 1)) &&
+      shape.dim(axis0) == config_.in_c &&
+      shape.dim(axis0 + 1) == config_.in_h &&
+      shape.dim(axis0 + 2) == config_.in_w;
+  if (!shape_ok) {
+    stats_.record_rejected();
+    fail_request(request, "bad input shape " + shape.to_string());
+    return future;
+  }
+  if (stopped_.load(std::memory_order_acquire)) {
+    stats_.record_rejected();
+    fail_request(request, "engine stopped");
+    return future;
+  }
+
+  stats_.record_queue_depth(queue_.size());
+  if (!queue_.push(std::move(request))) {
+    // push() left the request intact on failure, promise included.
+    stats_.record_rejected();
+    fail_request(request, queue_.closed() ? "engine stopped" : "queue full");
+  }
+  return future;
+}
+
+void InferenceEngine::stop() {
+  stopped_.store(true, std::memory_order_release);
+  queue_.close();
+  workers_.join();
+}
+
+double InferenceEngine::simulated_batch_us(std::size_t batch_size) const {
+  // Each processing unit streams its member's samples back to back.
+  return static_cast<double>(batch_size) * sample_accel_us_;
+}
+
+double InferenceEngine::simulated_batch_dma_bytes(
+    std::size_t batch_size) const {
+  // Weights cross the DMA once per batch (they stay resident in the weight
+  // buffer across samples); activations stream per sample.
+  return weight_dma_bytes_ +
+         static_cast<double>(batch_size) * act_dma_bytes_;
+}
+
+void InferenceEngine::worker_main(std::size_t /*worker_index*/) {
+  hw::ExecScratch scratch;
+  std::vector<Request> batch, expired;
+  while (batcher_.next_batch(batch, expired)) {
+    for (std::size_t i = 0; i < expired.size(); ++i) {
+      stats_.record_timeout();
+    }
+    if (!batch.empty()) execute_batch(batch, scratch);
+  }
+}
+
+void InferenceEngine::execute_batch(std::vector<Request>& batch,
+                                    hw::ExecScratch& scratch) {
+  const std::int64_t formed_us = util::Stopwatch::now_us();
+  const std::size_t batch_size = batch.size();
+
+  // Stack samples along the outer axis (the executor's native layout).
+  Tensor stacked{
+      Shape{batch_size, config_.in_c, config_.in_h, config_.in_w}};
+  const std::size_t sample_size =
+      config_.in_c * config_.in_h * config_.in_w;
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    std::memcpy(stacked.data().data() + i * sample_size,
+                batch[i].input.data().data(), sample_size * sizeof(float));
+  }
+
+  Tensor logits =
+      member_ptrs_.size() == 1
+          ? member_ptrs_.front()->run_batch(stacked, scratch)
+          : hw::run_ensemble_batch(member_ptrs_, stacked, scratch);
+
+  const double sim_us = simulated_batch_us(batch_size);
+  const double sim_dma = simulated_batch_dma_bytes(batch_size);
+  const std::int64_t done_us = util::Stopwatch::now_us();
+  const std::size_t classes = logits.shape().dim(1);
+
+  // Record the batch before fulfilling any promise: a client that has seen
+  // every future resolve must also see the batch in a stats snapshot.
+  stats_.record_batch(batch_size, sim_us, sim_dma);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    Response response;
+    response.ok = true;
+    response.logits = tensor::slice_outer(logits, i, i + 1);
+    response.predicted_class = static_cast<int>(
+        logits.argmax(i * classes, (i + 1) * classes) - i * classes);
+    response.queue_wait_us = formed_us - batch[i].enqueue_us;
+    response.service_us = done_us - formed_us;
+    response.e2e_us = done_us - batch[i].enqueue_us;
+    response.batch_size = batch_size;
+    response.sim_accel_us = sim_us;
+    response.sim_dma_bytes = sim_dma / static_cast<double>(batch_size);
+    stats_.record_response(response.e2e_us, response.queue_wait_us);
+    batch[i].promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace mfdfp::serve

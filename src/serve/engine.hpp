@@ -1,0 +1,111 @@
+// InferenceEngine: the serving front door.
+//
+// Owns one deployed model — a single QNetDesc or an ensemble of members
+// (one simulated processing unit each, logits averaged as in paper Section
+// 4.3) — plus the queue -> dynamic batcher -> worker pool pipeline that
+// drains client requests through the batched executor fast path. Each
+// executed batch is costed on the paper's hardware models: latency from
+// hw::CycleModel (ensemble = max over members, batch = sequential samples)
+// and DMA bytes from hw::TrafficModel (weights fetched once per batch —
+// the traffic win of batching — activations per sample).
+//
+// Thread-safety: submit() may be called from any number of client threads;
+// stop() is idempotent and drains the queue before returning, so no promise
+// is ever abandoned.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "hw/executor.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+#include "serve/worker_pool.hpp"
+
+namespace mfdfp::serve {
+
+struct EngineConfig {
+  /// Input geometry of one sample (the engine validates every submit).
+  std::size_t in_c = 3, in_h = 32, in_w = 32;
+
+  // Batching policy.
+  std::size_t max_batch = 8;
+  std::int64_t max_wait_us = 2000;
+
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 1024;
+
+  /// Applied to requests submitted without an explicit deadline; 0 = none.
+  std::int64_t default_deadline_us = 0;
+
+  /// Accelerator instance used for the simulated-latency/DMA accounting.
+  hw::AcceleratorConfig accel{};
+};
+
+class InferenceEngine {
+ public:
+  /// Deploys `members` (>= 1; > 1 = averaged-logit ensemble) and starts the
+  /// worker pool. All members must share the input geometry in `config`.
+  InferenceEngine(std::vector<hw::QNetDesc> members, EngineConfig config);
+
+  /// Stops and joins the workers (drains pending requests first).
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Submits one sample ({C,H,W} or {1,C,H,W}). The future resolves when a
+  /// worker completes the request's batch; rejected/invalid submissions
+  /// resolve immediately with ok=false. `deadline_us` overrides the
+  /// configured default (absolute, util::Stopwatch::now_us clock).
+  [[nodiscard]] std::future<Response> submit(tensor::Tensor sample,
+                                             std::int64_t deadline_us = -1);
+
+  /// Closes the queue, drains in-flight work, joins the workers.
+  /// Idempotent; submit() after stop() rejects.
+  void stop();
+
+  [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] const EngineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return executors_.size();
+  }
+
+  /// Simulated accelerator latency of one batch of `batch_size` samples,
+  /// microseconds (cycle model; exposed for tests/benches).
+  [[nodiscard]] double simulated_batch_us(std::size_t batch_size) const;
+
+  /// Simulated DMA bytes of one batch (weights once, activations per
+  /// sample).
+  [[nodiscard]] double simulated_batch_dma_bytes(
+      std::size_t batch_size) const;
+
+ private:
+  void worker_main(std::size_t worker_index);
+  void execute_batch(std::vector<Request>& batch, hw::ExecScratch& scratch);
+
+  EngineConfig config_;
+  std::vector<std::unique_ptr<hw::AcceleratorExecutor>> executors_;
+  std::vector<const hw::AcceleratorExecutor*> member_ptrs_;
+
+  // Per-sample simulated costs, precomputed from the members' workloads.
+  double sample_accel_us_ = 0.0;     ///< max over members (one PU each)
+  double weight_dma_bytes_ = 0.0;    ///< sum over members, once per batch
+  double act_dma_bytes_ = 0.0;       ///< sum over members, per sample
+
+  RequestQueue queue_;
+  DynamicBatcher batcher_;
+  WorkerPool workers_;
+  ServerStats stats_;
+  std::atomic<RequestId> next_id_{1};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,58 @@
+// Request/response types of the serving layer.
+//
+// A request carries one input sample (one image, {C,H,W} or {1,C,H,W}) plus
+// its arrival timestamp and optional absolute deadline; the response carries
+// the logits plus the per-request accounting the stats collector aggregates:
+// wall-clock queue/service/e2e times and the *simulated* accelerator cost of
+// the batch the request rode in (cycle-model latency, traffic-model DMA
+// bytes). Wall times measure the host serving stack; simulated times are
+// what the paper's accelerator would take — keeping both lets the benches
+// separate scheduling overhead from modeled hardware speed.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace mfdfp::serve {
+
+using RequestId = std::uint64_t;
+
+struct Response {
+  bool ok = false;
+  std::string error;      ///< set when !ok ("deadline exceeded", ...)
+  tensor::Tensor logits;  ///< {1, classes}; empty when !ok
+  int predicted_class = -1;
+
+  // Wall-clock accounting (microseconds, host monotonic clock).
+  std::int64_t queue_wait_us = 0;  ///< enqueue -> batch formation
+  std::int64_t service_us = 0;     ///< batch formation -> completion
+  std::int64_t e2e_us = 0;         ///< enqueue -> completion
+
+  // Batch context.
+  std::size_t batch_size = 0;  ///< how many requests shared the batch
+
+  // Simulated-hardware accounting for the whole batch this request rode in.
+  double sim_accel_us = 0.0;   ///< cycle-model latency of the batch
+  double sim_dma_bytes = 0.0;  ///< traffic-model bytes attributed per request
+};
+
+struct Request {
+  RequestId id = 0;
+  tensor::Tensor input;
+  std::int64_t enqueue_us = 0;   ///< util::Stopwatch::now_us() at submit
+  std::int64_t deadline_us = 0;  ///< absolute, same clock; 0 = no deadline
+  std::promise<Response> promise;
+};
+
+/// Fails a request with a ready error response.
+inline void fail_request(Request& request, std::string error) {
+  Response response;
+  response.ok = false;
+  response.error = std::move(error);
+  request.promise.set_value(std::move(response));
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,70 @@
+#include "serve/request_queue.hpp"
+
+#include <chrono>
+
+#include "util/stopwatch.hpp"
+
+namespace mfdfp::serve {
+
+bool RequestQueue::push(Request&& request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(request));
+  }
+  // notify_all, not notify_one: pop() and wait_for_items() waiters share the
+  // condition variable, and waking only a coalescing waiter would leave an
+  // idle pop() waiter asleep until that waiter's deadline.
+  ready_.notify_all();
+  return true;
+}
+
+bool RequestQueue::pop(Request& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  return true;
+}
+
+std::size_t RequestQueue::try_pop_n(std::vector<Request>& out, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t popped = 0;
+  while (popped < n && !items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+    ++popped;
+  }
+  return popped;
+}
+
+void RequestQueue::wait_for_items(std::size_t n, std::int64_t deadline_us) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (closed_ || items_.size() >= n) return;
+    const std::int64_t now = util::Stopwatch::now_us();
+    if (now >= deadline_us) return;
+    ready_.wait_for(lock, std::chrono::microseconds(deadline_us - now));
+  }
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,56 @@
+// Thread-safe bounded FIFO of pending inference requests.
+//
+// Producers (client threads) push; consumers (the dynamic batcher, on behalf
+// of worker threads) pop under a single mutex, so dequeue order is global
+// FIFO — the fairness property test_serve.cpp checks. The queue supports the
+// two waits batching needs: "block until at least one request or closed" and
+// "block until >= n requests or a deadline or closed".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace mfdfp::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Enqueues a request. Returns false (leaving `request` untouched) when
+  /// the queue is closed or full — the caller owns the rejection response.
+  [[nodiscard]] bool push(Request&& request);
+
+  /// Blocks until a request is available (pops into `out`, returns true) or
+  /// the queue is closed *and* drained (returns false).
+  [[nodiscard]] bool pop(Request& out);
+
+  /// Pops up to `n` requests without blocking, appending to `out`.
+  /// Returns how many were popped.
+  std::size_t try_pop_n(std::vector<Request>& out, std::size_t n);
+
+  /// Blocks until the queue holds >= `n` requests, `deadline_us` (absolute,
+  /// util::Stopwatch::now_us clock) passes, or the queue is closed.
+  void wait_for_items(std::size_t n, std::int64_t deadline_us);
+
+  /// Closes the queue: subsequent pushes fail, waiters wake, pop() drains
+  /// what is left and then returns false.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Request> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,142 @@
+#include "serve/stats.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace mfdfp::serve {
+
+void ServerStats::record_response(std::int64_t e2e_us,
+                                  std::int64_t queue_wait_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  e2e_us_.record(e2e_us);
+  queue_wait_us_.record(queue_wait_us);
+  ++completed_;
+}
+
+void ServerStats::record_timeout() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++timed_out_;
+}
+
+void ServerStats::record_rejected() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++rejected_;
+}
+
+void ServerStats::record_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_.record(static_cast<std::int64_t>(depth));
+}
+
+void ServerStats::record_batch(std::size_t batch_size, double sim_accel_us,
+                               double sim_dma_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (batch_size >= batch_sizes_.size()) {
+    batch_sizes_.resize(batch_size + 1, 0);
+  }
+  ++batch_sizes_[batch_size];
+  ++batches_;
+  batched_requests_ += batch_size;
+  sim_accel_busy_us_ += sim_accel_us;
+  sim_dma_bytes_ += sim_dma_bytes;
+}
+
+StatsSnapshot ServerStats::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StatsSnapshot s;
+  s.completed = completed_;
+  s.timed_out = timed_out_;
+  s.rejected = rejected_;
+
+  s.e2e_p50_us = e2e_us_.p50();
+  s.e2e_p95_us = e2e_us_.p95();
+  s.e2e_p99_us = e2e_us_.p99();
+  s.e2e_max_us = e2e_us_.max();
+  s.e2e_mean_us = e2e_us_.mean();
+  s.queue_p50_us = queue_wait_us_.p50();
+  s.queue_p99_us = queue_wait_us_.p99();
+
+  s.batches = batches_;
+  s.mean_batch_size =
+      batches_ == 0 ? 0.0
+                    : static_cast<double>(batched_requests_) /
+                          static_cast<double>(batches_);
+  s.batch_size_histogram = batch_sizes_;
+
+  s.depth_p50 = queue_depth_.p50();
+  s.depth_p99 = queue_depth_.p99();
+  s.depth_max = queue_depth_.max();
+
+  s.wall_seconds = window_.seconds();
+  s.throughput_rps =
+      s.wall_seconds > 0.0
+          ? static_cast<double>(completed_) / s.wall_seconds
+          : 0.0;
+
+  s.sim_accel_busy_us = sim_accel_busy_us_;
+  s.sim_dma_bytes = sim_dma_bytes_;
+  s.sim_accel_utilization =
+      s.wall_seconds > 0.0 ? sim_accel_busy_us_ / (s.wall_seconds * 1e6)
+                           : 0.0;
+  return s;
+}
+
+std::string ServerStats::to_table(const std::string& title) const {
+  const StatsSnapshot s = snapshot();
+  std::ostringstream out;
+
+  util::TablePrinter latency(title + " — latency & throughput");
+  latency.set_header({"metric", "value"});
+  latency.add_row({"completed", std::to_string(s.completed)});
+  latency.add_row({"timed out", std::to_string(s.timed_out)});
+  latency.add_row({"rejected", std::to_string(s.rejected)});
+  latency.add_row({"throughput (req/s)", util::fmt_fixed(s.throughput_rps, 1)});
+  latency.add_row({"e2e p50 (us)", std::to_string(s.e2e_p50_us)});
+  latency.add_row({"e2e p95 (us)", std::to_string(s.e2e_p95_us)});
+  latency.add_row({"e2e p99 (us)", std::to_string(s.e2e_p99_us)});
+  latency.add_row({"e2e max (us)", std::to_string(s.e2e_max_us)});
+  latency.add_row({"queue wait p50 (us)", std::to_string(s.queue_p50_us)});
+  latency.add_row({"queue wait p99 (us)", std::to_string(s.queue_p99_us)});
+  latency.add_row({"queue depth p50/p99/max",
+                   std::to_string(s.depth_p50) + "/" +
+                       std::to_string(s.depth_p99) + "/" +
+                       std::to_string(s.depth_max)});
+  out << latency.to_string() << "\n";
+
+  util::TablePrinter batching(title + " — batching");
+  batching.set_header({"batch size", "batches"});
+  for (std::size_t size = 1; size < s.batch_size_histogram.size(); ++size) {
+    if (s.batch_size_histogram[size] == 0) continue;
+    batching.add_row({std::to_string(size),
+                      std::to_string(s.batch_size_histogram[size])});
+  }
+  batching.add_row({"mean", util::fmt_fixed(s.mean_batch_size, 2)});
+  out << batching.to_string() << "\n";
+
+  util::TablePrinter hardware(title + " — simulated accelerator");
+  hardware.set_header({"metric", "value"});
+  hardware.add_row(
+      {"busy time (us)", util::fmt_fixed(s.sim_accel_busy_us, 1)});
+  hardware.add_row({"utilization (%)",
+                    util::fmt_percent(s.sim_accel_utilization, 2)});
+  hardware.add_row(
+      {"DMA traffic (MB)", util::fmt_fixed(s.sim_dma_bytes / 1e6, 3)});
+  out << hardware.to_string();
+  return out.str();
+}
+
+void ServerStats::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  e2e_us_.clear();
+  queue_wait_us_.clear();
+  queue_depth_.clear();
+  batch_sizes_.clear();
+  completed_ = timed_out_ = rejected_ = 0;
+  batches_ = batched_requests_ = 0;
+  sim_accel_busy_us_ = 0.0;
+  sim_dma_bytes_ = 0.0;
+  window_.reset();
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,96 @@
+// Aggregate serving metrics: latency percentiles, throughput, queue depth,
+// batch-size mix, and the simulated accelerator cost of the served traffic.
+//
+// One shared set of util::LatencyHistogram instances behind a single mutex:
+// workers record once per batch (and per response within it), so the lock
+// is nowhere near the per-synapse hot path and sharding per worker isn't
+// worth the merge complexity at these rates. snapshot() freezes a
+// consistent view; to_table() renders the core::report-style tables the
+// benches and the serving demo print.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/latency_histogram.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mfdfp::serve {
+
+struct StatsSnapshot {
+  // Request outcomes.
+  std::uint64_t completed = 0;
+  std::uint64_t timed_out = 0;  ///< failed a deadline while queued
+  std::uint64_t rejected = 0;   ///< refused at submit (queue full/closed)
+
+  // Wall-clock latency percentiles, microseconds.
+  std::int64_t e2e_p50_us = 0, e2e_p95_us = 0, e2e_p99_us = 0,
+               e2e_max_us = 0;
+  std::int64_t queue_p50_us = 0, queue_p99_us = 0;
+  double e2e_mean_us = 0.0;
+
+  // Batching.
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  /// count per batch size, index 0 unused (sizes are 1-based).
+  std::vector<std::uint64_t> batch_size_histogram;
+
+  // Queue depth observed at submit time.
+  std::int64_t depth_p50 = 0, depth_p99 = 0, depth_max = 0;
+
+  // Throughput over the observation window (construction/clear -> snapshot).
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;
+
+  // Simulated accelerator accounting (cycle/traffic models), whole window.
+  double sim_accel_busy_us = 0.0;
+  double sim_dma_bytes = 0.0;
+  /// Fraction of the wall window the simulated accelerator was busy.
+  double sim_accel_utilization = 0.0;
+};
+
+class ServerStats {
+ public:
+  ServerStats() : window_() {}
+
+  /// One completed request.
+  void record_response(std::int64_t e2e_us, std::int64_t queue_wait_us);
+  /// One request failed for missing its deadline while queued.
+  void record_timeout();
+  /// One request refused at submit time.
+  void record_rejected();
+  /// Queue depth seen by a submitter (recorded before its own push).
+  void record_queue_depth(std::size_t depth);
+  /// One executed batch with its simulated hardware cost.
+  void record_batch(std::size_t batch_size, double sim_accel_us,
+                    double sim_dma_bytes);
+
+  /// Consistent snapshot with derived rates over the current window.
+  [[nodiscard]] StatsSnapshot snapshot() const;
+
+  /// Renders snapshot() as aligned tables (latency / batching / simulated
+  /// hardware), ready to print.
+  [[nodiscard]] std::string to_table(const std::string& title) const;
+
+  /// Clears all counters and restarts the observation window.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  util::Stopwatch window_;
+  util::LatencyHistogram e2e_us_;
+  util::LatencyHistogram queue_wait_us_;
+  util::LatencyHistogram queue_depth_;
+  std::vector<std::uint64_t> batch_sizes_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_requests_ = 0;
+  double sim_accel_busy_us_ = 0.0;
+  double sim_dma_bytes_ = 0.0;
+};
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,25 @@
+#include "serve/worker_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mfdfp::serve {
+
+void WorkerPool::start(std::size_t count, std::function<void(std::size_t)> body) {
+  if (!threads_.empty()) {
+    throw std::logic_error("WorkerPool: already started");
+  }
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    threads_.emplace_back(body, i);
+  }
+}
+
+void WorkerPool::join() {
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+}
+
+}  // namespace mfdfp::serve

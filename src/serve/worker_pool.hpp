@@ -1,0 +1,36 @@
+// Fixed-size pool of drain threads.
+//
+// Deliberately minimal: the pool owns thread lifetime only. Each thread runs
+// the supplied loop function once (the function itself loops until its batch
+// source reports closed-and-drained), so shutdown is: close the source, then
+// join() — no stop flags to poll, no way to deadlock on a half-closed queue.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mfdfp::serve {
+
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool() { join(); }
+
+  /// Spawns `count` threads, each running `body(worker_index)` to
+  /// completion. Must not be called while threads are still running.
+  void start(std::size_t count, std::function<void(std::size_t)> body);
+
+  /// Joins all threads; idempotent.
+  void join();
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mfdfp::serve

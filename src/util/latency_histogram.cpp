@@ -1,0 +1,96 @@
+#include "util/latency_histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mfdfp::util {
+
+namespace {
+constexpr std::int64_t kTrackableMax = (std::int64_t{1} << 40) - 1;
+}  // namespace
+
+LatencyHistogram::LatencyHistogram()
+    // Bucket 0..63 exact, then 32 sub-buckets per power-of-two range.
+    : buckets_(static_cast<std::size_t>(kSubBuckets) +
+                   static_cast<std::size_t>(kMaxShift) * (kSubBuckets / 2),
+               0) {}
+
+std::size_t LatencyHistogram::bucket_index(std::int64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  // Shift so the value lands in [kSubBuckets/2, kSubBuckets); `shift` counts
+  // which power-of-two range the value is in (1 for [64,128), ...).
+  const int shift =
+      std::bit_width(static_cast<std::uint64_t>(value)) - kSubBucketBits;
+  const std::int64_t sub = value >> shift;  // in [32, 64)
+  return static_cast<std::size_t>(kSubBuckets) +
+         static_cast<std::size_t>(shift - 1) * (kSubBuckets / 2) +
+         static_cast<std::size_t>(sub - kSubBuckets / 2);
+}
+
+std::int64_t LatencyHistogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index < static_cast<std::size_t>(kSubBuckets)) {
+    return static_cast<std::int64_t>(index);
+  }
+  const std::size_t rest = index - static_cast<std::size_t>(kSubBuckets);
+  const int shift = static_cast<int>(rest / (kSubBuckets / 2)) + 1;
+  const std::int64_t sub = static_cast<std::int64_t>(rest % (kSubBuckets / 2)) +
+                           kSubBuckets / 2;
+  return ((sub + 1) << shift) - 1;
+}
+
+void LatencyHistogram::record(std::int64_t value) {
+  value = std::clamp<std::int64_t>(value, 0, kTrackableMax);
+  ++buckets_[bucket_index(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void LatencyHistogram::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  max_ = 0;
+  min_ = 0;
+  sum_ = 0.0;
+}
+
+std::int64_t LatencyHistogram::min() const noexcept {
+  return count_ == 0 ? 0 : min_;
+}
+
+double LatencyHistogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::int64_t LatencyHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(p / 100.0 * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= target) {
+      // Never report beyond the observed maximum (the last bucket's upper
+      // bound can overshoot it).
+      return std::min(bucket_upper_bound(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace mfdfp::util

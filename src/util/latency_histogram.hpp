@@ -1,0 +1,64 @@
+// Bounded-memory latency histogram with ~1.6% relative error.
+//
+// HdrHistogram-style bucketing: values below 64 are recorded exactly; above
+// that, each power-of-two range is split into 32 linear sub-buckets, so the
+// recorded value of any sample is within 1/32 of its true value. Memory is a
+// fixed ~9 KB regardless of sample count, so the serving layer can keep one
+// histogram per metric without ever storing raw samples; merge() combines
+// histograms from independent collectors (e.g. several engines or shards).
+// Values are whole microseconds (any unit works — the histogram is
+// unit-agnostic).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mfdfp::util {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one sample. Negative values clamp to 0; values above the
+  /// trackable maximum (~2^40) clamp to it.
+  void record(std::int64_t value);
+
+  /// Adds every bucket of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
+  void clear();
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::int64_t min() const noexcept;  ///< 0 when empty
+  [[nodiscard]] std::int64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Value at or below which `p` percent of samples fall (p in [0, 100]).
+  /// Returns the bucket's upper bound, so the result never understates the
+  /// sample. Returns 0 for an empty histogram.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+
+  [[nodiscard]] std::int64_t p50() const { return percentile(50.0); }
+  [[nodiscard]] std::int64_t p95() const { return percentile(95.0); }
+  [[nodiscard]] std::int64_t p99() const { return percentile(99.0); }
+
+ private:
+  // Values < kSubBuckets are exact (one bucket per value); every later
+  // power-of-two range reuses the upper kSubBuckets/2 sub-buckets.
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets
+  static constexpr std::int64_t kSubBuckets = std::int64_t{1}
+                                              << kSubBucketBits;
+  static constexpr int kMaxShift = 35;  // trackable max ~2^40 (~12 days in us)
+
+  [[nodiscard]] static std::size_t bucket_index(std::int64_t value) noexcept;
+  [[nodiscard]] static std::int64_t bucket_upper_bound(
+      std::size_t index) noexcept;
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t min_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace mfdfp::util

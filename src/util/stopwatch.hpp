@@ -6,6 +6,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace mfdfp::util {
 
@@ -23,6 +24,23 @@ class Stopwatch {
 
   /// Milliseconds elapsed.
   [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Whole microseconds elapsed (monotonic; what the serving layer records
+  /// into latency histograms).
+  [[nodiscard]] std::int64_t micros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Monotonic microsecond timestamp with an arbitrary (per-process) epoch.
+  /// Differences between two calls are valid durations; the absolute value
+  /// is meaningless. Used for request enqueue/deadline accounting.
+  [[nodiscard]] static std::int64_t now_us() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

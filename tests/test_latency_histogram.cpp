@@ -1,0 +1,105 @@
+#include "util/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mfdfp::util {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50.0), 0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  LatencyHistogram h;
+  for (std::int64_t v = 0; v < 64; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 63);
+  EXPECT_DOUBLE_EQ(h.mean(), 31.5);
+  // With 64 exact buckets the percentile is the exact order statistic.
+  EXPECT_EQ(h.percentile(50.0), 31);
+  EXPECT_EQ(h.percentile(100.0), 63);
+  // p=0 still counts at least one sample.
+  EXPECT_EQ(h.percentile(0.0), 0);
+}
+
+TEST(LatencyHistogram, LargeValuesWithinRelativeError) {
+  LatencyHistogram h;
+  util::Rng rng{42};
+  std::vector<std::int64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform(100.0, 5e6));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double p : {50.0, 95.0, 99.0}) {
+    const auto rank = static_cast<std::size_t>(p / 100.0 * 5000.0) - 1;
+    const double exact = static_cast<double>(samples[rank]);
+    const double approx = static_cast<double>(h.percentile(p));
+    // Upper-bound reporting: never understates, overshoot bounded by the
+    // sub-bucket resolution (1/32) plus one-off-rank slack.
+    EXPECT_GE(approx, exact * 0.999);
+    EXPECT_LE(approx, exact * 1.05);
+  }
+  EXPECT_EQ(h.max(), samples.back());
+  EXPECT_EQ(h.min(), samples.front());
+}
+
+TEST(LatencyHistogram, PercentilesNeverExceedObservedMax) {
+  LatencyHistogram h;
+  h.record(1'000'000);
+  EXPECT_EQ(h.percentile(99.0), 1'000'000);
+  EXPECT_EQ(h.percentile(100.0), 1'000'000);
+}
+
+TEST(LatencyHistogram, ClampsNegativeAndHugeValues) {
+  LatencyHistogram h;
+  h.record(-5);
+  EXPECT_EQ(h.min(), 0);
+  h.record(std::int64_t{1} << 60);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LT(h.max(), std::int64_t{1} << 41);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, combined;
+  util::Rng rng{7};
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform(0.0, 1e5));
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (const double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_EQ(a.percentile(p), combined.percentile(p));
+  }
+}
+
+TEST(LatencyHistogram, ClearResets) {
+  LatencyHistogram h;
+  h.record(123);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(99.0), 0);
+  h.record(7);
+  EXPECT_EQ(h.min(), 7);
+  EXPECT_EQ(h.max(), 7);
+}
+
+}  // namespace
+}  // namespace mfdfp::util

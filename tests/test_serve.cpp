@@ -1,0 +1,365 @@
+// Serving-engine properties: batcher coalescing bounds, FIFO fairness under
+// producer contention, clean worker-pool shutdown, and the load-bearing
+// invariant that the batched fast path is bit-identical to per-sample run().
+#include "serve/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "nn/zoo.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mfdfp::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Request make_request(RequestId id, std::int64_t deadline_us = 0) {
+  Request request;
+  request.id = id;
+  request.enqueue_us = util::Stopwatch::now_us();
+  request.deadline_us = deadline_us;
+  return request;
+}
+
+/// Builds a small quantized deployment image the way the executor tests do.
+hw::QNetDesc make_test_qnet(std::uint64_t seed, bool conv_net) {
+  util::Rng rng{seed};
+  nn::ZooConfig config;
+  config.in_channels = 3;
+  config.in_h = config.in_w = 16;
+  config.num_classes = 5;
+  config.width_multiplier = 0.2f;
+  nn::Network net = conv_net ? nn::make_cifar10_net(config, rng)
+                             : nn::make_mlp(config, 12, rng);
+  Tensor calibration{Shape{6, 3, 16, 16}};
+  calibration.fill_uniform(rng, -1.0f, 1.0f);
+  const quant::QuantSpec spec = quant::quantize_network(net, calibration);
+  return hw::extract_qnet(net, spec, "test");
+}
+
+EngineConfig small_engine_config() {
+  EngineConfig config;
+  config.in_c = 3;
+  config.in_h = config.in_w = 16;
+  config.max_batch = 5;
+  config.max_wait_us = 2000;
+  config.workers = 2;
+  return config;
+}
+
+// ---- batcher ---------------------------------------------------------------
+
+TEST(DynamicBatcher, NeverExceedsMaxBatch) {
+  RequestQueue queue(256);
+  DynamicBatcher batcher(queue, BatcherConfig{4, 0});
+  for (RequestId id = 0; id < 11; ++id) {
+    ASSERT_TRUE(queue.push(make_request(id)));
+  }
+  queue.close();
+
+  std::vector<Request> batch, expired;
+  std::vector<std::size_t> batch_sizes;
+  RequestId next_expected = 0;
+  while (batcher.next_batch(batch, expired)) {
+    EXPECT_LE(batch.size(), 4u);
+    EXPECT_TRUE(expired.empty());
+    for (const Request& request : batch) {
+      EXPECT_EQ(request.id, next_expected++) << "dequeue must be FIFO";
+    }
+    batch_sizes.push_back(batch.size());
+  }
+  EXPECT_EQ(next_expected, 11u);
+  // A full backlog coalesces into full batches: 4+4+3.
+  ASSERT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(batch_sizes[0], 4u);
+  EXPECT_EQ(batch_sizes[1], 4u);
+  EXPECT_EQ(batch_sizes[2], 3u);
+}
+
+TEST(DynamicBatcher, LoneRequestReleasedAfterMaxWait) {
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatcherConfig{8, 20'000});
+  ASSERT_TRUE(queue.push(make_request(1)));
+
+  util::Stopwatch watch;
+  std::vector<Request> batch, expired;
+  ASSERT_TRUE(batcher.next_batch(batch, expired));
+  // The lone request must not wait for a full batch forever — it is
+  // released within max_wait (plus generous scheduling slack).
+  EXPECT_LT(watch.micros(), 2'000'000);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().id, 1u);
+  queue.close();
+}
+
+TEST(DynamicBatcher, FailsExpiredRequestsInsteadOfServingThem) {
+  RequestQueue queue(16);
+  DynamicBatcher batcher(queue, BatcherConfig{4, 0});
+  const std::int64_t now = util::Stopwatch::now_us();
+  ASSERT_TRUE(queue.push(make_request(1, now - 10)));  // already expired
+  ASSERT_TRUE(queue.push(make_request(2)));            // no deadline
+
+  std::vector<Request> batch, expired;
+  ASSERT_TRUE(batcher.next_batch(batch, expired));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front().id, 2u);
+  ASSERT_EQ(expired.size(), 1u);
+  const Response response = expired.front().promise.get_future().get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error, "deadline exceeded");
+  queue.close();
+}
+
+// ---- queue fairness --------------------------------------------------------
+
+TEST(RequestQueue, PerProducerFifoUnderContention) {
+  RequestQueue queue(4096);
+  constexpr std::size_t kProducers = 4;
+  constexpr RequestId kPerProducer = 200;
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (RequestId i = 0; i < kPerProducer; ++i) {
+        // id encodes (producer, sequence).
+        ASSERT_TRUE(queue.push(make_request(p * 1'000'000 + i)));
+      }
+    });
+  }
+  for (std::thread& thread : producers) thread.join();
+  queue.close();
+
+  std::vector<RequestId> next_seq(kProducers, 0);
+  Request popped;
+  std::size_t total = 0;
+  while (queue.pop(popped)) {
+    const std::size_t producer = popped.id / 1'000'000;
+    const RequestId seq = popped.id % 1'000'000;
+    EXPECT_EQ(seq, next_seq[producer])
+        << "per-producer order violated for producer " << producer;
+    ++next_seq[producer];
+    ++total;
+  }
+  EXPECT_EQ(total, kProducers * kPerProducer);
+}
+
+TEST(RequestQueue, RejectsWhenFullOrClosed) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.push(make_request(1)));
+  EXPECT_TRUE(queue.push(make_request(2)));
+  EXPECT_FALSE(queue.push(make_request(3)));  // full
+  queue.close();
+  EXPECT_FALSE(queue.push(make_request(4)));  // closed
+  // Drain still works after close.
+  Request out;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_FALSE(queue.pop(out));
+}
+
+// ---- executor batched fast path -------------------------------------------
+
+TEST(RunBatch, BitIdenticalToPerSampleRun) {
+  for (const bool conv_net : {false, true}) {
+    const hw::QNetDesc desc = make_test_qnet(conv_net ? 21 : 20, conv_net);
+    const hw::AcceleratorExecutor executor(desc);
+
+    util::Rng rng{99};
+    Tensor images{Shape{7, 3, 16, 16}};
+    images.fill_uniform(rng, -1.0f, 1.0f);
+
+    hw::ExecScratch scratch;
+    // Two passes through the same scratch: buffer recycling must not leak
+    // state between batches.
+    for (int pass = 0; pass < 2; ++pass) {
+      const Tensor batched = executor.run_batch(images, scratch);
+      for (std::size_t i = 0; i < images.shape().n(); ++i) {
+        const Tensor sample = tensor::slice_outer(images, i, i + 1);
+        const Tensor solo = executor.run(sample);
+        const Tensor from_batch = tensor::slice_outer(batched, i, i + 1);
+        EXPECT_EQ(tensor::max_abs_diff(solo, from_batch), 0.0f)
+            << "sample " << i << " diverged (conv_net=" << conv_net << ")";
+      }
+    }
+  }
+}
+
+TEST(RunBatch, EnsembleBatchMatchesRunEnsemble) {
+  const hw::QNetDesc desc_a = make_test_qnet(31, false);
+  const hw::QNetDesc desc_b = make_test_qnet(32, false);
+  const hw::AcceleratorExecutor exec_a(desc_a), exec_b(desc_b);
+  const std::vector<const hw::AcceleratorExecutor*> members{&exec_a, &exec_b};
+
+  util::Rng rng{33};
+  Tensor images{Shape{3, 3, 16, 16}};
+  images.fill_uniform(rng, -1.0f, 1.0f);
+
+  hw::ExecScratch scratch;
+  const Tensor batched = hw::run_ensemble_batch(members, images, scratch);
+  const Tensor reference = hw::run_ensemble(members, images);
+  EXPECT_EQ(tensor::max_abs_diff(batched, reference), 0.0f);
+}
+
+// ---- engine ----------------------------------------------------------------
+
+TEST(InferenceEngine, ResponsesMatchDirectExecution) {
+  const hw::QNetDesc desc = make_test_qnet(41, true);
+  const hw::AcceleratorExecutor reference(desc);
+  InferenceEngine engine({desc}, small_engine_config());
+
+  util::Rng rng{42};
+  Tensor images{Shape{16, 3, 16, 16}};
+  images.fill_uniform(rng, -1.0f, 1.0f);
+
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < images.shape().n(); ++i) {
+    futures.push_back(engine.submit(tensor::slice_outer(images, i, i + 1)));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    Response response = futures[i].get();
+    ASSERT_TRUE(response.ok) << response.error;
+    const Tensor expected =
+        reference.run(tensor::slice_outer(images, i, i + 1));
+    EXPECT_EQ(tensor::max_abs_diff(response.logits, expected), 0.0f)
+        << "request " << i;
+    EXPECT_EQ(response.predicted_class,
+              static_cast<int>(expected.argmax()));
+    EXPECT_GE(response.batch_size, 1u);
+    EXPECT_LE(response.batch_size, engine.config().max_batch);
+    EXPECT_GT(response.sim_accel_us, 0.0);
+    EXPECT_GT(response.sim_dma_bytes, 0.0);
+    EXPECT_GE(response.e2e_us, response.queue_wait_us);
+  }
+
+  const StatsSnapshot stats = engine.stats().snapshot();
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GE(stats.batches, (16u + 4u) / 5u);  // max_batch = 5
+  EXPECT_GT(stats.sim_accel_busy_us, 0.0);
+}
+
+TEST(InferenceEngine, EnsembleAveragingMatchesRunEnsemble) {
+  const hw::QNetDesc desc_a = make_test_qnet(51, false);
+  const hw::QNetDesc desc_b = make_test_qnet(52, false);
+  const hw::AcceleratorExecutor exec_a(desc_a), exec_b(desc_b);
+  const std::vector<const hw::AcceleratorExecutor*> members{&exec_a, &exec_b};
+
+  InferenceEngine engine({desc_a, desc_b}, small_engine_config());
+  EXPECT_EQ(engine.member_count(), 2u);
+
+  util::Rng rng{53};
+  Tensor image{Shape{1, 3, 16, 16}};
+  image.fill_uniform(rng, -1.0f, 1.0f);
+
+  Response response = engine.submit(image).get();
+  ASSERT_TRUE(response.ok) << response.error;
+  const Tensor expected = hw::run_ensemble(members, image);
+  EXPECT_EQ(tensor::max_abs_diff(response.logits, expected), 0.0f);
+}
+
+TEST(InferenceEngine, RejectsBadShapes) {
+  const hw::QNetDesc desc = make_test_qnet(61, false);
+  InferenceEngine engine({desc}, small_engine_config());
+
+  Tensor wrong{Shape{2, 3, 16, 16}};  // batch of 2 in one request
+  Response response = engine.submit(std::move(wrong)).get();
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("bad input shape"), std::string::npos);
+
+  Tensor wrong_size{Shape{3, 8, 8}};
+  response = engine.submit(std::move(wrong_size)).get();
+  EXPECT_FALSE(response.ok);
+
+  // Same element count, permuted layout: must be rejected, not served as
+  // scrambled data.
+  Tensor permuted{Shape{16, 3, 16}};
+  response = engine.submit(std::move(permuted)).get();
+  EXPECT_FALSE(response.ok);
+
+  Tensor rank2{Shape{3, 256}};
+  response = engine.submit(std::move(rank2)).get();
+  EXPECT_FALSE(response.ok);
+
+  EXPECT_EQ(engine.stats().snapshot().rejected, 4u);
+}
+
+TEST(InferenceEngine, StopDrainsPendingWorkWithoutDeadlock) {
+  const hw::QNetDesc desc = make_test_qnet(71, false);
+  EngineConfig config = small_engine_config();
+  // Park requests in the coalescing wait so stop() races batch formation.
+  config.max_batch = 64;
+  config.max_wait_us = 500'000;
+  config.workers = 3;
+  InferenceEngine engine({desc}, config);
+
+  util::Rng rng{72};
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 10; ++i) {
+    Tensor image{Shape{1, 3, 16, 16}};
+    image.fill_uniform(rng, -1.0f, 1.0f);
+    futures.push_back(engine.submit(std::move(image)));
+  }
+  engine.stop();  // must drain: every future resolves, no deadlock
+
+  std::size_t completed = 0;
+  for (auto& future : futures) {
+    const Response response = future.get();
+    if (response.ok) ++completed;
+  }
+  EXPECT_EQ(completed, 10u) << "drained shutdown must complete queued work";
+
+  // Idempotent stop and post-stop rejection.
+  engine.stop();
+  Tensor image{Shape{1, 3, 16, 16}};
+  image.fill_uniform(rng, -1.0f, 1.0f);
+  const Response rejected = engine.submit(std::move(image)).get();
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error, "engine stopped");
+}
+
+TEST(InferenceEngine, ManyConcurrentClients) {
+  const hw::QNetDesc desc = make_test_qnet(81, false);
+  EngineConfig config = small_engine_config();
+  config.max_batch = 8;
+  config.workers = 4;
+  InferenceEngine engine({desc}, config);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 25;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&engine, &ok_count, c] {
+      util::Rng rng{static_cast<std::uint64_t>(100 + c)};
+      for (int i = 0; i < kPerClient; ++i) {
+        Tensor image{Shape{1, 3, 16, 16}};
+        image.fill_uniform(rng, -1.0f, 1.0f);
+        if (engine.submit(std::move(image)).get().ok) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(ok_count.load(), kClients * kPerClient);
+  const StatsSnapshot stats = engine.stats().snapshot();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients) * kPerClient);
+  EXPECT_GT(stats.mean_batch_size, 0.99);
+}
+
+TEST(InferenceEngine, ThrowsOnEmptyModelList) {
+  EXPECT_THROW(InferenceEngine({}, small_engine_config()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfdfp::serve
