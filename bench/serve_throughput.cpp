@@ -1,18 +1,19 @@
-// Serving-engine load generator: serial per-request baseline vs the batched
-// engine, closed-loop and open-loop (Poisson arrivals).
+// Serving load generator: serial per-request baseline vs the batched
+// ModelServer, closed-loop and open-loop (Poisson arrivals).
 //
 // Three phases over the same synthetic CIFAR-style workload:
 //  A. serial baseline — one thread, one AcceleratorExecutor::run per request
 //     (the repo's only serving story before src/serve existed);
-//  B. closed-loop batched — K client threads submit back-to-back into the
-//     InferenceEngine (dynamic batching + worker pool + run_batch);
+//  B. closed-loop batched — K client threads submit back-to-back into a
+//     ModelServer deployment (dynamic batching + worker pool + run_batch);
 //  C. open-loop Poisson — requests arrive at a fixed fraction of the
 //     measured batched capacity, the realistic traffic shape.
 //
-// Emits BENCH_serve.json (path = argv[1], default ./BENCH_serve.json) with
-// throughput and tail latency for the perf trajectory, and exits nonzero if
-// batched serving fails the >= 2x acceptance bar over the serial baseline.
-// MFDFP_QUICK=1 shrinks the request counts ~4x.
+// Emits a JSON fragment (path = argv[1], default ./BENCH_serve.json) with
+// throughput and tail latency for the perf trajectory — scripts/run_bench.sh
+// wraps it together with the multi-model ablation numbers and the git SHA —
+// and exits nonzero if batched serving fails the >= 2x acceptance bar over
+// the serial baseline. MFDFP_QUICK=1 shrinks the request counts ~4x.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -23,7 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -58,8 +59,8 @@ Workload make_workload(std::size_t request_count) {
   return workload;
 }
 
-serve::EngineConfig engine_config() {
-  serve::EngineConfig config;
+serve::DeployConfig deploy_config() {
+  serve::DeployConfig config;
   config.in_c = 3;
   config.in_h = config.in_w = 16;
   config.max_batch = 8;
@@ -89,8 +90,10 @@ int main(int argc, char** argv) {
   const double serial_rps = static_cast<double>(requests) / serial_seconds;
 
   // ---- Phase B: closed-loop batched serving -------------------------------
-  serve::InferenceEngine engine({workload.qnet}, engine_config());
-  engine.stats().clear();
+  serve::ModelServer server;
+  server.deploy("cnn", {workload.qnet}, deploy_config());
+  const auto engine = server.engine("cnn");
+  engine->stats().clear();
   constexpr std::size_t kClients = 8;
   wall.reset();
   {
@@ -98,9 +101,9 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
         for (std::size_t i = c; i < requests; i += kClients) {
-          auto future =
-              engine.submit(tensor::slice_outer(workload.images, i, i + 1));
-          if (!future.get().ok) std::abort();
+          auto future = server.submit(
+              "cnn", tensor::slice_outer(workload.images, i, i + 1));
+          if (!serve::ok(future.get().status)) std::abort();
         }
       });
     }
@@ -108,11 +111,11 @@ int main(int argc, char** argv) {
   }
   const double closed_seconds = wall.seconds();
   const double batched_rps = static_cast<double>(requests) / closed_seconds;
-  const serve::StatsSnapshot closed = engine.stats().snapshot();
+  const serve::StatsSnapshot closed = engine->stats().snapshot();
 
   // ---- Phase C: open-loop Poisson arrivals at 60% of capacity -------------
   const double open_rate = 0.6 * batched_rps;
-  engine.stats().clear();
+  engine->stats().clear();
   {
     util::Rng arrivals{7};
     std::vector<std::future<serve::Response>> futures;
@@ -121,13 +124,13 @@ int main(int argc, char** argv) {
       const double gap_s = -std::log(1.0 - arrivals.uniform()) / open_rate;
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<std::int64_t>(gap_s * 1e6)));
-      futures.push_back(
-          engine.submit(tensor::slice_outer(workload.images, i, i + 1)));
+      futures.push_back(server.submit(
+          "cnn", tensor::slice_outer(workload.images, i, i + 1)));
     }
     for (auto& future : futures) (void)future.get();
   }
-  const serve::StatsSnapshot open = engine.stats().snapshot();
-  engine.stop();
+  const serve::StatsSnapshot open = engine->stats().snapshot();
+  server.shutdown();
 
   // ---- Report -------------------------------------------------------------
   const double speedup = batched_rps / serial_rps;

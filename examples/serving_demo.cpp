@@ -1,17 +1,20 @@
-// Serving demo: an MF-DFP ensemble behind the inference engine, under
+// Serving demo: two MF-DFP models behind one ModelServer, under mixed
 // Poisson traffic.
 //
 // End-to-end: train two float networks, convert each with Algorithm 1
-// (Phase 3 ensemble), extract the per-member deployment images, deploy them
-// in a serve::InferenceEngine (one simulated processing unit per member,
-// logits averaged on the engine), and drive it with open-loop Poisson
-// arrivals — the traffic shape a production endpoint sees. Prints the
-// ServerStats tables: tail latency, batch-size mix, queue depth, and the
+// (Phase 3 ensemble), extract the per-member deployment images, and deploy
+// them twice on one serve::ModelServer — the full averaged-logit ensemble as
+// "ensemble" and its first member alone as "single" — then drive both with
+// open-loop Poisson arrivals mixing priority classes: kInteractive probes
+// with a tight SLO and kBatch bulk traffic that admission control may shed
+// under overload. Prints the per-model ServerStats tables: tail latency per
+// priority class, batch-size mix, queue depth, sheds/timeouts, and the
 // simulated accelerator busy time / DMA traffic of the served load.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,7 +22,7 @@
 #include "data/synthetic.hpp"
 #include "hw/cost_model.hpp"
 #include "nn/zoo.hpp"
-#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -58,28 +61,39 @@ int main() {
                                       .build(factory, dataset.train,
                                              dataset.test);
 
-  // 2. Deploy on the serving engine: one PU per member, logits averaged.
-  serve::EngineConfig engine_config;
-  engine_config.in_c = spec.channels;
-  engine_config.in_h = spec.height;
-  engine_config.in_w = spec.width;
-  engine_config.max_batch = 8;
-  engine_config.max_wait_us = 3000;
-  engine_config.workers = 4;
-  engine_config.default_deadline_us = 200'000;  // 200 ms SLO
-  engine_config.accel = hw::mfdfp_config(ensemble_config.member_count);
-  serve::InferenceEngine engine(
-      core::extract_member_qnets(ensemble, "demo"), engine_config);
-  std::printf("engine up: %zu members, %zu workers, batch <= %zu\n",
-              engine.member_count(), engine_config.workers,
-              engine_config.max_batch);
+  // 2. Deploy both models on one server: the averaged-logit ensemble (one
+  //    simulated PU per member) and its first member as a cheaper variant.
+  std::vector<hw::QNetDesc> members =
+      core::extract_member_qnets(ensemble, "demo");
+  serve::DeployConfig config;
+  config.in_c = spec.channels;
+  config.in_h = spec.height;
+  config.in_w = spec.width;
+  config.max_batch = 8;
+  config.max_wait_us = 3000;
+  config.workers = 4;
+  config.default_deadline_us = 200'000;  // 200 ms SLO
+  config.accel = hw::mfdfp_config(ensemble_config.member_count);
 
-  // 3. Open-loop Poisson traffic over the test set.
+  serve::ModelServer server;
+  serve::DeployConfig single_config = config;
+  single_config.accel = hw::mfdfp_config(1);
+  server.deploy("single", {members.front()}, single_config);
+  server.deploy("ensemble", std::move(members), config);
+  for (const serve::ModelHandle& handle : server.models()) {
+    const auto engine = server.engine(handle.name);
+    std::printf("deployed \"%s\" v%u: %zu member(s), %zu workers, "
+                "batch <= %zu\n",
+                handle.name.c_str(), handle.version,
+                engine->member_count(), config.workers, config.max_batch);
+  }
+
+  // 3. Open-loop Poisson traffic over the test set: 75% kBatch bulk to the
+  //    ensemble, 25% kInteractive probes alternating between both models.
   constexpr double kArrivalRps = 300.0;
   const std::size_t total = dataset.test.images.shape().n();
-  std::printf("replaying %zu test images as Poisson arrivals at %.0f req/s"
-              "...\n\n", total, kArrivalRps);
-  engine.stats().clear();
+  std::printf("replaying %zu test images as Poisson arrivals at %.0f req/s "
+              "(mixed models + priorities)...\n\n", total, kArrivalRps);
   util::Rng arrivals{11};
   std::vector<std::future<serve::Response>> futures;
   futures.reserve(total);
@@ -87,23 +101,35 @@ int main() {
     const double gap_s = -std::log(1.0 - arrivals.uniform()) / kArrivalRps;
     std::this_thread::sleep_for(
         std::chrono::microseconds(static_cast<std::int64_t>(gap_s * 1e6)));
-    futures.push_back(
-        engine.submit(tensor::slice_outer(dataset.test.images, i, i + 1)));
+    serve::SubmitOptions options;
+    options.priority = i % 4 == 0 ? serve::Priority::kInteractive
+                                  : serve::Priority::kBatch;
+    const std::string model =
+        options.priority == serve::Priority::kInteractive && i % 8 == 0
+            ? "single"
+            : "ensemble";
+    futures.push_back(server.submit(
+        model, tensor::slice_outer(dataset.test.images, i, i + 1),
+        options));
   }
 
-  std::size_t correct = 0, ok = 0;
+  std::size_t correct = 0, served = 0, shed = 0, timed_out = 0;
   for (std::size_t i = 0; i < total; ++i) {
     const serve::Response response = futures[i].get();
-    if (!response.ok) continue;
-    ++ok;
+    if (response.status == serve::StatusCode::kShedded) ++shed;
+    if (response.status == serve::StatusCode::kDeadlineExceeded) ++timed_out;
+    if (!serve::ok(response.status)) continue;
+    ++served;
     if (response.predicted_class == dataset.test.labels[i]) ++correct;
   }
-  engine.stop();
 
-  // 4. Report.
-  std::printf("%s\n\n", engine.stats().to_table("serving demo").c_str());
-  std::printf("served %zu/%zu requests, ensemble top-1 %.2f%%\n", ok, total,
-              ok == 0 ? 0.0 : 100.0 * static_cast<double>(correct) /
-                                  static_cast<double>(ok));
+  // 4. Report per model, then shut down.
+  std::printf("%s\n\n", server.stats_table("ensemble").c_str());
+  std::printf("%s\n\n", server.stats_table("single").c_str());
+  std::printf("served %zu/%zu requests (%zu shed, %zu timed out), "
+              "top-1 %.2f%%\n", served, total, shed, timed_out,
+              served == 0 ? 0.0 : 100.0 * static_cast<double>(correct) /
+                                      static_cast<double>(served));
+  server.shutdown();
   return 0;
 }

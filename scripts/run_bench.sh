@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Runs the serving throughput bench and leaves BENCH_serve.json (throughput,
-# p99, speedup) in the repo root for the perf trajectory.
+# Runs the serving benches and assembles BENCH_serve.json in the repo root
+# for the perf trajectory: the git SHA, the serial-vs-batched throughput
+# numbers (serve_throughput), and the multi-model priority/admission ablation
+# numbers (ablation_multimodel).
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 # Respects MFDFP_QUICK=1 for a ~4x faster run.
@@ -9,12 +11,31 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-if [[ ! -x "$build_dir/serve_throughput" ]]; then
-  echo "building serve_throughput in $build_dir..."
-  cmake -B "$build_dir" -S "$repo_root"
-  cmake --build "$build_dir" -j "$(nproc)" --target serve_throughput
-fi
+for target in serve_throughput ablation_multimodel; do
+  if [[ ! -x "$build_dir/$target" ]]; then
+    echo "building $target in $build_dir..."
+    cmake -B "$build_dir" -S "$repo_root"
+    cmake --build "$build_dir" -j "$(nproc)" --target "$target"
+  fi
+done
 
-"$build_dir/serve_throughput" "$repo_root/BENCH_serve.json"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+"$build_dir/serve_throughput" "$tmp_dir/serve.json"
+"$build_dir/ablation_multimodel" "$tmp_dir/multimodel.json"
+
+git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+{
+  echo "{"
+  echo "  \"git_sha\": \"$git_sha\","
+  echo "  \"serve_throughput\":"
+  sed 's/^/  /' "$tmp_dir/serve.json"
+  echo "  ,"
+  echo "  \"multimodel\":"
+  sed 's/^/  /' "$tmp_dir/multimodel.json"
+  echo "}"
+} > "$repo_root/BENCH_serve.json"
+
 echo "---"
 cat "$repo_root/BENCH_serve.json"

@@ -41,7 +41,8 @@ bool DynamicBatcher::next_batch(std::vector<Request>& batch,
         return r.deadline_us == 0 || now <= r.deadline_us;
       });
   for (auto it = alive_end; it != batch.end(); ++it) {
-    fail_request(*it, "deadline exceeded");
+    fail_request(*it, StatusCode::kDeadlineExceeded,
+                 "expired while queued");
     expired.push_back(std::move(*it));
   }
   batch.erase(alive_end, batch.end());

@@ -15,10 +15,11 @@ using tensor::Shape;
 using tensor::Tensor;
 
 InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
-                                 EngineConfig config)
-    : config_(config),
-      queue_(config.queue_capacity),
-      batcher_(queue_, BatcherConfig{config.max_batch, config.max_wait_us}) {
+                                 DeployConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity, config_.priority_scheduling),
+      batcher_(queue_,
+               BatcherConfig{config_.max_batch, config_.max_wait_us}) {
   if (members.empty()) {
     throw std::invalid_argument("InferenceEngine: no model members");
   }
@@ -56,18 +57,19 @@ InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
 InferenceEngine::~InferenceEngine() { stop(); }
 
 std::future<Response> InferenceEngine::submit(Tensor sample,
-                                              std::int64_t deadline_us) {
+                                              SubmitOptions options) {
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.input = std::move(sample);
+  request.priority = options.priority;
   request.enqueue_us = util::Stopwatch::now_us();
-  if (deadline_us < 0) {
+  if (options.deadline_us < 0) {
     request.deadline_us =
         config_.default_deadline_us > 0
             ? request.enqueue_us + config_.default_deadline_us
             : 0;
   } else {
-    request.deadline_us = deadline_us;
+    request.deadline_us = options.deadline_us;
   }
   std::future<Response> future = request.promise.get_future();
 
@@ -82,20 +84,54 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
       shape.dim(axis0 + 2) == config_.in_w;
   if (!shape_ok) {
     stats_.record_rejected();
-    fail_request(request, "bad input shape " + shape.to_string());
+    fail_request(request, StatusCode::kInvalidInput,
+                 "bad input shape " + shape.to_string());
     return future;
   }
   if (stopped_.load(std::memory_order_acquire)) {
     stats_.record_rejected();
-    fail_request(request, "engine stopped");
+    fail_request(request, StatusCode::kShuttingDown, "engine stopped");
     return future;
   }
 
-  stats_.record_queue_depth(queue_.size());
+  // A deadline that has already passed fails here — counting as timed_out,
+  // not rejected — instead of occupying a queue slot until batch formation.
+  if (request.deadline_us != 0 && request.enqueue_us >= request.deadline_us) {
+    stats_.record_timeout();
+    fail_request(request, StatusCode::kDeadlineExceeded,
+                 "expired at submit");
+    return future;
+  }
+
+  const std::size_t depth = queue_.size();
+
+  // Admission control: refuse kBatch work whose estimated queue delay
+  // (depth x per-sample simulated accelerator cost) already blows the
+  // deadline budget. Interactive traffic is never shed, and deadline-less
+  // batch traffic has an infinite budget.
+  if (config_.admission_control && request.priority == Priority::kBatch &&
+      request.deadline_us != 0) {
+    const double est_delay_us =
+        static_cast<double>(depth) * sample_accel_us_;
+    const double budget_us =
+        static_cast<double>(request.deadline_us - request.enqueue_us);
+    if (est_delay_us > budget_us) {
+      stats_.record_shedded();
+      fail_request(request, StatusCode::kShedded,
+                   "estimated queue delay exceeds deadline budget");
+      return future;
+    }
+  }
+
+  stats_.record_queue_depth(depth);
   if (!queue_.push(std::move(request))) {
     // push() left the request intact on failure, promise included.
     stats_.record_rejected();
-    fail_request(request, queue_.closed() ? "engine stopped" : "queue full");
+    if (queue_.closed()) {
+      fail_request(request, StatusCode::kShuttingDown, "engine stopped");
+    } else {
+      fail_request(request, StatusCode::kQueueFull, "queue at capacity");
+    }
   }
   return future;
 }
@@ -160,17 +196,21 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
   stats_.record_batch(batch_size, sim_us, sim_dma);
   for (std::size_t i = 0; i < batch_size; ++i) {
     Response response;
-    response.ok = true;
+    response.status = StatusCode::kOk;
     response.logits = tensor::slice_outer(logits, i, i + 1);
     response.predicted_class = static_cast<int>(
         logits.argmax(i * classes, (i + 1) * classes) - i * classes);
+    response.model = config_.model_name;
+    response.model_version = config_.model_version;
+    response.priority = batch[i].priority;
     response.queue_wait_us = formed_us - batch[i].enqueue_us;
     response.service_us = done_us - formed_us;
     response.e2e_us = done_us - batch[i].enqueue_us;
     response.batch_size = batch_size;
     response.sim_accel_us = sim_us;
     response.sim_dma_bytes = sim_dma / static_cast<double>(batch_size);
-    stats_.record_response(response.e2e_us, response.queue_wait_us);
+    stats_.record_response(response.e2e_us, response.queue_wait_us,
+                           batch[i].priority);
     batch[i].promise.set_value(std::move(response));
   }
 }

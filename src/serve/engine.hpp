@@ -1,4 +1,4 @@
-// InferenceEngine: the serving front door.
+// InferenceEngine: the per-model serving unit behind ModelServer.
 //
 // Owns one deployed model — a single QNetDesc or an ensemble of members
 // (one simulated processing unit each, logits averaged as in paper Section
@@ -9,6 +9,19 @@
 // and DMA bytes from hw::TrafficModel (weights fetched once per batch —
 // the traffic win of batching — activations per sample).
 //
+// Scheduling: the queue drains strict priority (kInteractive before kBatch)
+// when `priority_scheduling` is on, and `admission_control` sheds kBatch
+// requests at submit time when the estimated queue delay (queue depth x
+// per-sample simulated accelerator cost) already exceeds the request's
+// deadline budget — an overloaded engine fails cheap traffic fast instead
+// of queueing work it cannot finish in time. Requests whose deadline has
+// already passed at submit fail immediately with kDeadlineExceeded (counted
+// as timed_out) instead of occupying a queue slot until batch formation.
+//
+// Clients normally reach an engine through ModelServer (server.hpp), which
+// owns the name -> engine registry; the engine itself is name-agnostic
+// beyond stamping responses with the model name/version it was deployed as.
+//
 // Thread-safety: submit() may be called from any number of client threads;
 // stop() is idempotent and drains the queue before returning, so no promise
 // is ever abandoned.
@@ -17,6 +30,7 @@
 #include <atomic>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/cost_model.hpp"
@@ -28,7 +42,8 @@
 
 namespace mfdfp::serve {
 
-struct EngineConfig {
+/// Per-deployment configuration (one model behind the ModelServer).
+struct DeployConfig {
   /// Input geometry of one sample (the engine validates every submit).
   std::size_t in_c = 3, in_h = 32, in_w = 32;
 
@@ -42,6 +57,14 @@ struct EngineConfig {
   /// Applied to requests submitted without an explicit deadline; 0 = none.
   std::int64_t default_deadline_us = 0;
 
+  // Scheduling policies (see file comment).
+  bool priority_scheduling = true;  ///< strict-priority queue drain
+  bool admission_control = true;    ///< shed kBatch when delay > budget
+
+  /// Identity stamped into responses; the registry fills these on deploy.
+  std::string model_name;
+  std::uint32_t model_version = 0;
+
   /// Accelerator instance used for the simulated-latency/DMA accounting.
   hw::AcceleratorConfig accel{};
 };
@@ -50,7 +73,7 @@ class InferenceEngine {
  public:
   /// Deploys `members` (>= 1; > 1 = averaged-logit ensemble) and starts the
   /// worker pool. All members must share the input geometry in `config`.
-  InferenceEngine(std::vector<hw::QNetDesc> members, EngineConfig config);
+  InferenceEngine(std::vector<hw::QNetDesc> members, DeployConfig config);
 
   /// Stops and joins the workers (drains pending requests first).
   ~InferenceEngine();
@@ -59,23 +82,28 @@ class InferenceEngine {
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
   /// Submits one sample ({C,H,W} or {1,C,H,W}). The future resolves when a
-  /// worker completes the request's batch; rejected/invalid submissions
-  /// resolve immediately with ok=false. `deadline_us` overrides the
-  /// configured default (absolute, util::Stopwatch::now_us clock).
+  /// worker completes the request's batch; rejected/shed/expired
+  /// submissions resolve immediately with the matching StatusCode.
   [[nodiscard]] std::future<Response> submit(tensor::Tensor sample,
-                                             std::int64_t deadline_us = -1);
+                                             SubmitOptions options = {});
 
   /// Closes the queue, drains in-flight work, joins the workers.
-  /// Idempotent; submit() after stop() rejects.
+  /// Idempotent; submit() after stop() resolves kShuttingDown.
   void stop();
 
   [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
-  [[nodiscard]] const EngineConfig& config() const noexcept {
+  [[nodiscard]] const DeployConfig& config() const noexcept {
     return config_;
   }
   [[nodiscard]] std::size_t member_count() const noexcept {
     return executors_.size();
+  }
+
+  /// Simulated accelerator latency of one sample, microseconds (max over
+  /// ensemble members — one processing unit each).
+  [[nodiscard]] double simulated_sample_us() const noexcept {
+    return sample_accel_us_;
   }
 
   /// Simulated accelerator latency of one batch of `batch_size` samples,
@@ -87,11 +115,17 @@ class InferenceEngine {
   [[nodiscard]] double simulated_batch_dma_bytes(
       std::size_t batch_size) const;
 
+  /// Admission-control estimate: current queue depth x per-sample simulated
+  /// accelerator cost.
+  [[nodiscard]] double estimated_queue_delay_us() const {
+    return static_cast<double>(queue_.size()) * sample_accel_us_;
+  }
+
  private:
   void worker_main(std::size_t worker_index);
   void execute_batch(std::vector<Request>& batch, hw::ExecScratch& scratch);
 
-  EngineConfig config_;
+  DeployConfig config_;
   std::vector<std::unique_ptr<hw::AcceleratorExecutor>> executors_;
   std::vector<const hw::AcceleratorExecutor*> member_ptrs_;
 

@@ -1,0 +1,95 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mfdfp::serve {
+
+ModelHandle ModelRegistry::deploy(const std::string& name,
+                                  std::vector<hw::QNetDesc> members,
+                                  DeployConfig config) {
+  if (name.empty()) {
+    throw std::invalid_argument("ModelRegistry: empty model name");
+  }
+
+  // Reserve the version first so concurrent redeploys of one name get
+  // distinct versions even though engines are built outside the lock.
+  std::uint32_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    version = ++last_version_[name];
+  }
+
+  config.model_name = name;
+  config.model_version = version;
+  // Built outside the lock: on redeploy the old engine keeps serving while
+  // the replacement constructs (weight predecode, worker spawn).
+  auto engine = std::make_shared<InferenceEngine>(std::move(members),
+                                                  std::move(config));
+
+  std::shared_ptr<InferenceEngine> replaced;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entries_[name];
+    // A concurrent deploy may have published a newer version already; only
+    // swap in if this deployment is the newest.
+    if (entry.engine && entry.version > version) {
+      replaced = std::move(engine);
+    } else {
+      replaced = std::exchange(entry.engine, std::move(engine));
+      entry.version = version;
+    }
+  }
+  if (replaced) replaced->stop();  // drain in-flight work of the loser
+  return ModelHandle{name, version};
+}
+
+bool ModelRegistry::undeploy(const std::string& name) {
+  std::shared_ptr<InferenceEngine> removed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    removed = std::move(it->second.engine);
+    entries_.erase(it);
+  }
+  removed->stop();  // drain: every queued request resolves before we return
+  return true;
+}
+
+std::shared_ptr<InferenceEngine> ModelRegistry::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.engine;
+}
+
+std::vector<ModelHandle> ModelRegistry::models() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ModelHandle> handles;
+  handles.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    handles.push_back(ModelHandle{name, entry.version});
+  }
+  return handles;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ModelRegistry::clear() {
+  std::vector<std::shared_ptr<InferenceEngine>> removed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    removed.reserve(entries_.size());
+    for (auto& [name, entry] : entries_) {
+      removed.push_back(std::move(entry.engine));
+    }
+    entries_.clear();
+  }
+  for (auto& engine : removed) engine->stop();
+}
+
+}  // namespace mfdfp::serve

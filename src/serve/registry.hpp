@@ -1,0 +1,79 @@
+// ModelRegistry: named, versioned catalogue of deployed models.
+//
+// Each deploy(name, members, config) builds a fresh InferenceEngine (its own
+// queue + worker pool, so models are isolated and run concurrently) and
+// publishes it under `name`; deploying an existing name is a hot redeploy —
+// the new engine is built and swapped in while the old one keeps serving,
+// then the old engine is drained (every in-flight request resolves with the
+// old version stamped) and destroyed once the last client reference drops.
+// Versions increase monotonically per name and survive undeploy, so a
+// redeployed model never reuses a version number.
+//
+// Lookup hands out shared_ptr<InferenceEngine>: a submit racing an undeploy
+// either misses the entry (kModelNotFound) or holds a reference that keeps
+// the engine alive until its future resolves — undeploy drains, it never
+// abandons promises.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace mfdfp::serve {
+
+/// Identity of one deployment, returned by deploy().
+struct ModelHandle {
+  std::string name;
+  std::uint32_t version = 0;
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ~ModelRegistry() { clear(); }
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Deploys (or hot-redeploys) `members` under `name`. `config.model_name`
+  /// and `config.model_version` are overwritten with the registry identity.
+  /// Throws std::invalid_argument for an empty name or member list. On
+  /// redeploy, the replaced engine is drained before this returns.
+  ModelHandle deploy(const std::string& name,
+                     std::vector<hw::QNetDesc> members, DeployConfig config);
+
+  /// Removes `name` and drains its engine (all in-flight requests resolve).
+  /// Returns false when no such model is deployed.
+  bool undeploy(const std::string& name);
+
+  /// The engine serving `name`, or nullptr. The shared_ptr keeps a drained
+  /// engine's stats readable even after undeploy.
+  [[nodiscard]] std::shared_ptr<InferenceEngine> find(
+      const std::string& name) const;
+
+  /// Handles of every deployed model, unordered.
+  [[nodiscard]] std::vector<ModelHandle> models() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Undeploys everything (drains each engine).
+  void clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<InferenceEngine> engine;
+    std::uint32_t version = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  /// Last version handed out per name; survives undeploy so redeploys keep
+  /// incrementing.
+  std::unordered_map<std::string, std::uint32_t> last_version_;
+};
+
+}  // namespace mfdfp::serve

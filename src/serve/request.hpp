@@ -1,30 +1,58 @@
 // Request/response types of the serving layer.
 //
 // A request carries one input sample (one image, {C,H,W} or {1,C,H,W}) plus
-// its arrival timestamp and optional absolute deadline; the response carries
-// the logits plus the per-request accounting the stats collector aggregates:
-// wall-clock queue/service/e2e times and the *simulated* accelerator cost of
-// the batch the request rode in (cycle-model latency, traffic-model DMA
-// bytes). Wall times measure the host serving stack; simulated times are
-// what the paper's accelerator would take — keeping both lets the benches
-// separate scheduling overhead from modeled hardware speed.
+// its priority class, arrival timestamp and optional absolute deadline; the
+// response carries a typed StatusCode (status.hpp), the logits, and the
+// per-request accounting the stats collector aggregates: wall-clock
+// queue/service/e2e times and the *simulated* accelerator cost of the batch
+// the request rode in (cycle-model latency, traffic-model DMA bytes). Wall
+// times measure the host serving stack; simulated times are what the paper's
+// accelerator would take — keeping both lets the benches separate scheduling
+// overhead from modeled hardware speed.
 #pragma once
 
 #include <cstdint>
 #include <future>
 #include <string>
 
+#include "serve/status.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mfdfp::serve {
 
 using RequestId = std::uint64_t;
 
+/// Scheduling class of a request. Strict priority: the queue always drains
+/// kInteractive before kBatch, and admission control only ever sheds kBatch.
+enum class Priority : std::uint8_t {
+  kInteractive = 0,  ///< latency-sensitive; never shed
+  kBatch = 1,        ///< throughput traffic; shed under overload
+};
+
+inline constexpr std::size_t kPriorityClasses = 2;
+
+[[nodiscard]] constexpr const char* priority_name(Priority priority) noexcept {
+  return priority == Priority::kInteractive ? "interactive" : "batch";
+}
+
+/// Per-submit options of the ModelServer / engine front door.
+struct SubmitOptions {
+  Priority priority = Priority::kInteractive;
+  /// Absolute deadline on the util::Stopwatch::now_us clock.
+  /// -1 = use the model's configured default; 0 = no deadline.
+  std::int64_t deadline_us = -1;
+};
+
 struct Response {
-  bool ok = false;
-  std::string error;      ///< set when !ok ("deadline exceeded", ...)
-  tensor::Tensor logits;  ///< {1, classes}; empty when !ok
+  StatusCode status = StatusCode::kInvalidInput;
+  std::string detail;     ///< human-readable failure context (logs only)
+  tensor::Tensor logits;  ///< {1, classes}; empty unless status == kOk
   int predicted_class = -1;
+
+  // Which deployment served the request (empty/0 on pre-dispatch failures).
+  std::string model;
+  std::uint32_t model_version = 0;
+  Priority priority = Priority::kInteractive;
 
   // Wall-clock accounting (microseconds, host monotonic clock).
   std::int64_t queue_wait_us = 0;  ///< enqueue -> batch formation
@@ -42,17 +70,35 @@ struct Response {
 struct Request {
   RequestId id = 0;
   tensor::Tensor input;
+  Priority priority = Priority::kInteractive;
   std::int64_t enqueue_us = 0;   ///< util::Stopwatch::now_us() at submit
   std::int64_t deadline_us = 0;  ///< absolute, same clock; 0 = no deadline
   std::promise<Response> promise;
 };
 
-/// Fails a request with a ready error response.
-inline void fail_request(Request& request, std::string error) {
+/// Fails a request with a ready response carrying `code`.
+inline void fail_request(Request& request, StatusCode code,
+                         std::string detail = "") {
   Response response;
-  response.ok = false;
-  response.error = std::move(error);
+  response.status = code;
+  response.detail = std::move(detail);
+  response.priority = request.priority;
   request.promise.set_value(std::move(response));
+}
+
+/// An already-resolved failure future, for rejections that never reach a
+/// queue (model not found, server shut down, ...). Stamps the submitter's
+/// priority so failure accounting by class stays correct pre-dispatch.
+[[nodiscard]] inline std::future<Response> ready_failure(
+    StatusCode code, std::string detail = "",
+    Priority priority = Priority::kInteractive) {
+  std::promise<Response> promise;
+  Response response;
+  response.status = code;
+  response.detail = std::move(detail);
+  response.priority = priority;
+  promise.set_value(std::move(response));
+  return promise.get_future();
 }
 
 }  // namespace mfdfp::serve

@@ -9,8 +9,11 @@ namespace mfdfp::serve {
 bool RequestQueue::push(Request&& request) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(request));
+    const std::size_t limit = request.priority == Priority::kBatch
+                                  ? capacity_ - interactive_reserve()
+                                  : capacity_;
+    if (closed_ || total_locked() >= limit) return false;
+    lanes_[lane_of(request.priority)].push_back(std::move(request));
   }
   // notify_all, not notify_one: pop() and wait_for_items() waiters share the
   // condition variable, and waking only a coalescing waiter would leave an
@@ -21,20 +24,25 @@ bool RequestQueue::push(Request&& request) {
 
 bool RequestQueue::pop(Request& out) {
   std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
-  if (items_.empty()) return false;  // closed and drained
-  out = std::move(items_.front());
-  items_.pop_front();
-  return true;
+  ready_.wait(lock, [&] { return closed_ || total_locked() > 0; });
+  for (auto& lane : lanes_) {
+    if (lane.empty()) continue;
+    out = std::move(lane.front());
+    lane.pop_front();
+    return true;
+  }
+  return false;  // closed and drained
 }
 
 std::size_t RequestQueue::try_pop_n(std::vector<Request>& out, std::size_t n) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t popped = 0;
-  while (popped < n && !items_.empty()) {
-    out.push_back(std::move(items_.front()));
-    items_.pop_front();
-    ++popped;
+  for (auto& lane : lanes_) {
+    while (popped < n && !lane.empty()) {
+      out.push_back(std::move(lane.front()));
+      lane.pop_front();
+      ++popped;
+    }
   }
   return popped;
 }
@@ -42,7 +50,7 @@ std::size_t RequestQueue::try_pop_n(std::vector<Request>& out, std::size_t n) {
 void RequestQueue::wait_for_items(std::size_t n, std::int64_t deadline_us) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    if (closed_ || items_.size() >= n) return;
+    if (closed_ || total_locked() >= n) return;
     const std::int64_t now = util::Stopwatch::now_us();
     if (now >= deadline_us) return;
     ready_.wait_for(lock, std::chrono::microseconds(deadline_us - now));
@@ -64,7 +72,12 @@ bool RequestQueue::closed() const {
 
 std::size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return items_.size();
+  return total_locked();
+}
+
+std::size_t RequestQueue::size(Priority priority) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_[lane_of(priority)].size();
 }
 
 }  // namespace mfdfp::serve

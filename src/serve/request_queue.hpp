@@ -1,12 +1,25 @@
-// Thread-safe bounded FIFO of pending inference requests.
+// Thread-safe bounded queue of pending inference requests with strict
+// priority lanes.
 //
 // Producers (client threads) push; consumers (the dynamic batcher, on behalf
-// of worker threads) pop under a single mutex, so dequeue order is global
-// FIFO — the fairness property test_serve.cpp checks. The queue supports the
-// two waits batching needs: "block until at least one request or closed" and
-// "block until >= n requests or a deadline or closed".
+// of worker threads) pop under a single mutex. In priority-aware mode
+// (the default) the queue keeps one FIFO lane per Priority class and always
+// drains kInteractive before kBatch — strict priority, no aging — while
+// order *within* a lane stays FIFO, which is the fairness property
+// test_serve.cpp checks. With `priority_aware = false` every request lands
+// in a single global FIFO regardless of its priority class (the ablation
+// baseline). Capacity is shared across lanes, except that in priority-aware
+// mode 1/8 of it (for capacities >= 8) is reserved for kInteractive: a
+// deadline-less kBatch flood that admission control cannot shed would
+// otherwise fill the queue and starve interactive traffic with kQueueFull
+// at the door — the exact overload regime priority classes exist for.
+//
+// The queue supports the two waits batching needs: "block until at least one
+// request or closed" and "block until >= n requests or a deadline or
+// closed".
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,18 +32,24 @@ namespace mfdfp::serve {
 
 class RequestQueue {
  public:
-  explicit RequestQueue(std::size_t capacity = 1024) : capacity_(capacity) {}
+  explicit RequestQueue(std::size_t capacity = 1024,
+                        bool priority_aware = true)
+      : capacity_(capacity), priority_aware_(priority_aware) {}
 
-  /// Enqueues a request. Returns false (leaving `request` untouched) when
-  /// the queue is closed or full — the caller owns the rejection response.
+  /// Enqueues a request into its priority lane. Returns false (leaving
+  /// `request` untouched, promise included) when the queue is closed or
+  /// full for that class — kBatch cannot use the interactive-reserved
+  /// headroom — so the caller owns the rejection response.
   [[nodiscard]] bool push(Request&& request);
 
-  /// Blocks until a request is available (pops into `out`, returns true) or
-  /// the queue is closed *and* drained (returns false).
+  /// Blocks until a request is available (pops the highest-priority one into
+  /// `out`, returns true) or the queue is closed *and* drained (returns
+  /// false).
   [[nodiscard]] bool pop(Request& out);
 
-  /// Pops up to `n` requests without blocking, appending to `out`.
-  /// Returns how many were popped.
+  /// Pops up to `n` requests without blocking, appending to `out` in strict
+  /// priority order (all pending kInteractive before any kBatch). Returns
+  /// how many were popped.
   std::size_t try_pop_n(std::vector<Request>& out, std::size_t n);
 
   /// Blocks until the queue holds >= `n` requests, `deadline_us` (absolute,
@@ -43,13 +62,34 @@ class RequestQueue {
 
   [[nodiscard]] bool closed() const;
   [[nodiscard]] std::size_t size() const;
+  /// Pending requests in one priority lane (always lane 0 when not
+  /// priority-aware).
+  [[nodiscard]] std::size_t size(Priority priority) const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Slots only kInteractive may occupy (0 when not priority-aware or for
+  /// capacities below 8).
+  [[nodiscard]] std::size_t interactive_reserve() const noexcept {
+    return priority_aware_ && capacity_ >= 8 ? capacity_ / 8 : 0;
+  }
+  [[nodiscard]] bool priority_aware() const noexcept {
+    return priority_aware_;
+  }
 
  private:
+  [[nodiscard]] std::size_t lane_of(Priority priority) const noexcept {
+    return priority_aware_ ? static_cast<std::size_t>(priority) : 0;
+  }
+  [[nodiscard]] std::size_t total_locked() const noexcept {
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    return total;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable ready_;
-  std::deque<Request> items_;
+  std::array<std::deque<Request>, kPriorityClasses> lanes_;
   std::size_t capacity_;
+  bool priority_aware_;
   bool closed_ = false;
 };
 

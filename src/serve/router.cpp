@@ -1,0 +1,25 @@
+#include "serve/router.hpp"
+
+#include <utility>
+
+namespace mfdfp::serve {
+
+std::future<Response> Router::submit(const std::string& model,
+                                     tensor::Tensor sample,
+                                     SubmitOptions options) {
+  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
+  if (!engine) {
+    not_found_.fetch_add(1, std::memory_order_relaxed);
+    return ready_failure(StatusCode::kModelNotFound,
+                         "no model deployed as \"" + model + "\"",
+                         options.priority);
+  }
+  return engine->submit(std::move(sample), options);
+}
+
+double Router::estimated_queue_delay_us(const std::string& model) const {
+  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
+  return engine ? engine->estimated_queue_delay_us() : 0.0;
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,51 @@
+// Router: name-based dispatch of submissions onto registry engines.
+//
+// The router is deliberately thin: it resolves the model name against the
+// ModelRegistry and forwards the sample with its SubmitOptions to that
+// model's engine, which applies the scheduling policies (strict priority
+// drain, admission control, deadline handling). Unknown names resolve
+// immediately with kModelNotFound — and the router counts them, since no
+// per-model ServerStats exists to attribute the miss to.
+//
+// A lookup racing an undeploy is safe: the shared_ptr handed out by the
+// registry keeps the (draining) engine alive until its futures resolve.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+
+#include "serve/registry.hpp"
+
+namespace mfdfp::serve {
+
+class Router {
+ public:
+  explicit Router(ModelRegistry& registry) : registry_(registry) {}
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes one sample to the named model. Resolves kModelNotFound when no
+  /// such deployment exists; otherwise behaves as that engine's submit().
+  [[nodiscard]] std::future<Response> submit(const std::string& model,
+                                             tensor::Tensor sample,
+                                             SubmitOptions options = {});
+
+  /// Estimated queue delay of the named model (admission-control estimate),
+  /// microseconds; 0 for unknown names.
+  [[nodiscard]] double estimated_queue_delay_us(
+      const std::string& model) const;
+
+  /// Submissions that named a model with no deployment.
+  [[nodiscard]] std::uint64_t not_found_count() const noexcept {
+    return not_found_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ModelRegistry& registry_;
+  std::atomic<std::uint64_t> not_found_{0};
+};
+
+}  // namespace mfdfp::serve

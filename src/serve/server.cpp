@@ -1,0 +1,48 @@
+#include "serve/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mfdfp::serve {
+
+ModelHandle ModelServer::deploy(const std::string& name,
+                                std::vector<hw::QNetDesc> members,
+                                DeployConfig config) {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (shutdown_.load(std::memory_order_acquire)) {
+    throw std::logic_error("ModelServer: deploy after shutdown");
+  }
+  return registry_.deploy(name, std::move(members), std::move(config));
+}
+
+bool ModelServer::undeploy(const std::string& name) {
+  return registry_.undeploy(name);
+}
+
+std::future<Response> ModelServer::submit(const std::string& model,
+                                          tensor::Tensor sample,
+                                          SubmitOptions options) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return ready_failure(StatusCode::kShuttingDown, "server shut down",
+                         options.priority);
+  }
+  return router_.submit(model, std::move(sample), options);
+}
+
+void ModelServer::shutdown() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  shutdown_.store(true, std::memory_order_release);
+  registry_.clear();
+}
+
+StatsSnapshot ModelServer::stats(const std::string& model) const {
+  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
+  return engine ? engine->stats().snapshot() : StatsSnapshot{};
+}
+
+std::string ModelServer::stats_table(const std::string& model) const {
+  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
+  return engine ? engine->stats().to_table(model) : std::string{};
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,92 @@
+// ModelServer: the serving front door.
+//
+// Composes the ModelRegistry (named, versioned deployments, each an isolated
+// InferenceEngine with its own queue and worker pool) with the Router
+// (name-based dispatch). One process hosts many models concurrently:
+//
+//   ModelServer server;
+//   server.deploy("cnn", {qnet}, config);            // single network
+//   server.deploy("ens", member_qnets, config);      // averaged ensemble
+//   auto future = server.submit("ens", sample,
+//       {.priority = Priority::kInteractive, .deadline_us = deadline});
+//   Response r = future.get();                       // r.status, r.logits
+//
+// Every submission resolves with a typed StatusCode (status.hpp): routing
+// misses are kModelNotFound, overload sheds kBatch traffic as kShedded,
+// missed deadlines are kDeadlineExceeded, and shutdown() flips the server
+// into kShuttingDown while draining every deployed engine — no promise is
+// ever abandoned. deploy() on an existing name is a hot redeploy: the new
+// version serves new traffic while in-flight requests drain against the old
+// one.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+
+namespace mfdfp::serve {
+
+class ModelServer {
+ public:
+  ModelServer() : router_(registry_) {}
+  ~ModelServer() { shutdown(); }
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  /// Deploys (or hot-redeploys) a model. Throws std::invalid_argument on an
+  /// empty name/member list and std::logic_error after shutdown().
+  ModelHandle deploy(const std::string& name,
+                     std::vector<hw::QNetDesc> members,
+                     DeployConfig config = {});
+
+  /// Undeploys `name`, draining its in-flight requests. False if unknown.
+  bool undeploy(const std::string& name);
+
+  /// Routes one sample to the named model (see Router / InferenceEngine).
+  [[nodiscard]] std::future<Response> submit(const std::string& model,
+                                             tensor::Tensor sample,
+                                             SubmitOptions options = {});
+
+  /// Drains and undeploys every model; subsequent submits resolve
+  /// kShuttingDown and deploys throw. Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::vector<ModelHandle> models() const {
+    return registry_.models();
+  }
+  [[nodiscard]] std::size_t model_count() const { return registry_.size(); }
+
+  /// Per-model stats snapshot (empty snapshot for unknown names).
+  [[nodiscard]] StatsSnapshot stats(const std::string& model) const;
+  /// Per-model stats tables, ready to print ("" for unknown names).
+  [[nodiscard]] std::string stats_table(const std::string& model) const;
+
+  /// Direct engine access for tests/benches (stats().clear(), queue depth,
+  /// simulated costs); nullptr for unknown names.
+  [[nodiscard]] std::shared_ptr<InferenceEngine> engine(
+      const std::string& model) const {
+    return registry_.find(model);
+  }
+
+  [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] Router& router() noexcept { return router_; }
+
+ private:
+  ModelRegistry registry_;
+  Router router_;
+  /// Serializes deploy() against shutdown(): a deploy must not publish a
+  /// live engine after shutdown() cleared the registry. submit() stays
+  /// lock-free on this mutex (the atomic flag is enough there — a submit
+  /// racing shutdown lands on a draining engine, which still resolves).
+  std::mutex lifecycle_mutex_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace mfdfp::serve

@@ -6,12 +6,21 @@
 
 namespace mfdfp::serve {
 
+namespace {
+/// Windows shorter than this are reported with zero rates instead of
+/// dividing by a near-zero wall time (inf/NaN guard).
+constexpr double kMinWindowSeconds = 1e-6;
+}  // namespace
+
 void ServerStats::record_response(std::int64_t e2e_us,
-                                  std::int64_t queue_wait_us) {
+                                  std::int64_t queue_wait_us,
+                                  Priority priority) {
   std::lock_guard<std::mutex> lock(mutex_);
   e2e_us_.record(e2e_us);
+  e2e_us_by_class_[static_cast<std::size_t>(priority)].record(e2e_us);
   queue_wait_us_.record(queue_wait_us);
   ++completed_;
+  ++completed_by_class_[static_cast<std::size_t>(priority)];
 }
 
 void ServerStats::record_timeout() {
@@ -22,6 +31,11 @@ void ServerStats::record_timeout() {
 void ServerStats::record_rejected() {
   std::lock_guard<std::mutex> lock(mutex_);
   ++rejected_;
+}
+
+void ServerStats::record_shedded() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shedded_;
 }
 
 void ServerStats::record_queue_depth(std::size_t depth) {
@@ -48,6 +62,7 @@ StatsSnapshot ServerStats::snapshot() const {
   s.completed = completed_;
   s.timed_out = timed_out_;
   s.rejected = rejected_;
+  s.shedded = shedded_;
 
   s.e2e_p50_us = e2e_us_.p50();
   s.e2e_p95_us = e2e_us_.p95();
@@ -56,6 +71,12 @@ StatsSnapshot ServerStats::snapshot() const {
   s.e2e_mean_us = e2e_us_.mean();
   s.queue_p50_us = queue_wait_us_.p50();
   s.queue_p99_us = queue_wait_us_.p99();
+
+  for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+    s.completed_by_class[cls] = completed_by_class_[cls];
+    s.e2e_p50_us_by_class[cls] = e2e_us_by_class_[cls].p50();
+    s.e2e_p99_us_by_class[cls] = e2e_us_by_class_[cls].p99();
+  }
 
   s.batches = batches_;
   s.mean_batch_size =
@@ -69,16 +90,14 @@ StatsSnapshot ServerStats::snapshot() const {
   s.depth_max = queue_depth_.max();
 
   s.wall_seconds = window_.seconds();
+  const bool window_valid = s.wall_seconds >= kMinWindowSeconds;
   s.throughput_rps =
-      s.wall_seconds > 0.0
-          ? static_cast<double>(completed_) / s.wall_seconds
-          : 0.0;
+      window_valid ? static_cast<double>(completed_) / s.wall_seconds : 0.0;
 
   s.sim_accel_busy_us = sim_accel_busy_us_;
   s.sim_dma_bytes = sim_dma_bytes_;
   s.sim_accel_utilization =
-      s.wall_seconds > 0.0 ? sim_accel_busy_us_ / (s.wall_seconds * 1e6)
-                           : 0.0;
+      window_valid ? sim_accel_busy_us_ / (s.wall_seconds * 1e6) : 0.0;
   return s;
 }
 
@@ -91,11 +110,19 @@ std::string ServerStats::to_table(const std::string& title) const {
   latency.add_row({"completed", std::to_string(s.completed)});
   latency.add_row({"timed out", std::to_string(s.timed_out)});
   latency.add_row({"rejected", std::to_string(s.rejected)});
+  latency.add_row({"shedded", std::to_string(s.shedded)});
   latency.add_row({"throughput (req/s)", util::fmt_fixed(s.throughput_rps, 1)});
   latency.add_row({"e2e p50 (us)", std::to_string(s.e2e_p50_us)});
   latency.add_row({"e2e p95 (us)", std::to_string(s.e2e_p95_us)});
   latency.add_row({"e2e p99 (us)", std::to_string(s.e2e_p99_us)});
   latency.add_row({"e2e max (us)", std::to_string(s.e2e_max_us)});
+  for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+    if (s.completed_by_class[cls] == 0) continue;
+    const char* name = priority_name(static_cast<Priority>(cls));
+    latency.add_row({std::string(name) + " p50/p99 (us)",
+                     std::to_string(s.e2e_p50_us_by_class[cls]) + "/" +
+                         std::to_string(s.e2e_p99_us_by_class[cls])});
+  }
   latency.add_row({"queue wait p50 (us)", std::to_string(s.queue_p50_us)});
   latency.add_row({"queue wait p99 (us)", std::to_string(s.queue_p99_us)});
   latency.add_row({"queue depth p50/p99/max",
@@ -129,10 +156,12 @@ std::string ServerStats::to_table(const std::string& title) const {
 void ServerStats::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   e2e_us_.clear();
+  for (auto& histogram : e2e_us_by_class_) histogram.clear();
   queue_wait_us_.clear();
   queue_depth_.clear();
   batch_sizes_.clear();
-  completed_ = timed_out_ = rejected_ = 0;
+  completed_ = timed_out_ = rejected_ = shedded_ = 0;
+  completed_by_class_.fill(0);
   batches_ = batched_requests_ = 0;
   sim_accel_busy_us_ = 0.0;
   sim_dma_bytes_ = 0.0;

@@ -1,5 +1,7 @@
-// Aggregate serving metrics: latency percentiles, throughput, queue depth,
-// batch-size mix, and the simulated accelerator cost of the served traffic.
+// Aggregate serving metrics: latency percentiles (overall and per priority
+// class), throughput, queue depth, batch-size mix, request outcomes by
+// StatusCode family, and the simulated accelerator cost of the served
+// traffic.
 //
 // One shared set of util::LatencyHistogram instances behind a single mutex:
 // workers record once per batch (and per response within it), so the lock
@@ -9,27 +11,35 @@
 // benches and the serving demo print.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "serve/request.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mfdfp::serve {
 
 struct StatsSnapshot {
-  // Request outcomes.
+  // Request outcomes (see status.hpp for the code -> counter mapping).
   std::uint64_t completed = 0;
-  std::uint64_t timed_out = 0;  ///< failed a deadline while queued
-  std::uint64_t rejected = 0;   ///< refused at submit (queue full/closed)
+  std::uint64_t timed_out = 0;  ///< kDeadlineExceeded (at submit or queued)
+  std::uint64_t rejected = 0;   ///< kQueueFull / kInvalidInput / kShuttingDown
+  std::uint64_t shedded = 0;    ///< kShedded (admission control, kBatch only)
 
   // Wall-clock latency percentiles, microseconds.
   std::int64_t e2e_p50_us = 0, e2e_p95_us = 0, e2e_p99_us = 0,
                e2e_max_us = 0;
   std::int64_t queue_p50_us = 0, queue_p99_us = 0;
   double e2e_mean_us = 0.0;
+
+  // Per-priority-class completions and e2e tails.
+  std::array<std::uint64_t, kPriorityClasses> completed_by_class{};
+  std::array<std::int64_t, kPriorityClasses> e2e_p50_us_by_class{};
+  std::array<std::int64_t, kPriorityClasses> e2e_p99_us_by_class{};
 
   // Batching.
   std::uint64_t batches = 0;
@@ -55,19 +65,25 @@ class ServerStats {
  public:
   ServerStats() : window_() {}
 
-  /// One completed request.
-  void record_response(std::int64_t e2e_us, std::int64_t queue_wait_us);
-  /// One request failed for missing its deadline while queued.
+  /// One completed request of the given priority class.
+  void record_response(std::int64_t e2e_us, std::int64_t queue_wait_us,
+                       Priority priority);
+  /// One request that missed its deadline (at submit or while queued).
   void record_timeout();
-  /// One request refused at submit time.
+  /// One request refused at submit time (bad input, queue full, stopped).
   void record_rejected();
+  /// One kBatch request shed by admission control.
+  void record_shedded();
   /// Queue depth seen by a submitter (recorded before its own push).
   void record_queue_depth(std::size_t depth);
   /// One executed batch with its simulated hardware cost.
   void record_batch(std::size_t batch_size, double sim_accel_us,
                     double sim_dma_bytes);
 
-  /// Consistent snapshot with derived rates over the current window.
+  /// Consistent snapshot with derived rates over the current window. Rates
+  /// (throughput, utilization) report 0 when the window is shorter than
+  /// ~1 us — a snapshot taken immediately after clear() must not divide by
+  /// a denormal wall time and emit inf/NaN.
   [[nodiscard]] StatsSnapshot snapshot() const;
 
   /// Renders snapshot() as aligned tables (latency / batching / simulated
@@ -81,12 +97,15 @@ class ServerStats {
   mutable std::mutex mutex_;
   util::Stopwatch window_;
   util::LatencyHistogram e2e_us_;
+  std::array<util::LatencyHistogram, kPriorityClasses> e2e_us_by_class_;
   util::LatencyHistogram queue_wait_us_;
   util::LatencyHistogram queue_depth_;
   std::vector<std::uint64_t> batch_sizes_;
   std::uint64_t completed_ = 0;
+  std::array<std::uint64_t, kPriorityClasses> completed_by_class_{};
   std::uint64_t timed_out_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t shedded_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t batched_requests_ = 0;
   double sim_accel_busy_us_ = 0.0;

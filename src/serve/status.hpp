@@ -1,0 +1,78 @@
+// Typed status taxonomy of the serving layer.
+//
+// Every request submitted to the serving front door resolves with exactly one
+// StatusCode; the old `bool ok + std::string error` contract is gone. The
+// taxonomy distinguishes *why* a request failed, because the caller's correct
+// reaction differs per code:
+//
+//   code                | meaning                                | caller reaction
+//   --------------------+----------------------------------------+---------------------------
+//   kOk                 | served; logits valid                   | consume result
+//   kQueueFull          | bounded queue at capacity at submit    | back off / retry later
+//   kDeadlineExceeded   | deadline passed (at submit or queued)  | drop; raise deadline
+//   kInvalidInput       | sample shape != deployed geometry      | fix the request (no retry)
+//   kModelNotFound      | no model deployed under that name      | fix routing (no retry)
+//   kShuttingDown       | engine/server stopped or stopping      | fail over to another node
+//   kShedded            | admission control refused kBatch work  | retry after backlog drains
+//                       | (estimated queue delay > deadline      |
+//                       |  budget)                               |
+//
+// Accounting: kDeadlineExceeded counts as `timed_out`, kShedded as `shedded`,
+// and kQueueFull / kInvalidInput / kShuttingDown as `rejected` in
+// ServerStats — so a load test can separate overload behaviour (sheds,
+// timeouts) from client errors (rejections).
+//
+// `Response` carries `StatusCode status` plus a human-readable `detail`
+// string for diagnostics only — dispatching on `detail` text is a bug;
+// dispatch on the code.
+#pragma once
+
+namespace mfdfp::serve {
+
+enum class StatusCode {
+  kOk = 0,
+  kQueueFull,
+  kDeadlineExceeded,
+  kInvalidInput,
+  kModelNotFound,
+  kShuttingDown,
+  kShedded,
+};
+
+/// True when `code` means the request was served and the logits are valid.
+[[nodiscard]] constexpr bool ok(StatusCode code) noexcept {
+  return code == StatusCode::kOk;
+}
+
+/// Stable lower_snake_case name, for logs, tables, and JSON.
+[[nodiscard]] constexpr const char* status_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:               return "ok";
+    case StatusCode::kQueueFull:        return "queue_full";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kInvalidInput:     return "invalid_input";
+    case StatusCode::kModelNotFound:    return "model_not_found";
+    case StatusCode::kShuttingDown:     return "shutting_down";
+    case StatusCode::kShedded:          return "shedded";
+  }
+  return "unknown";
+}
+
+/// Compatibility helper for code migrating off the pre-ModelServer
+/// `bool ok + std::string error` contract: the message the old API would
+/// have carried for each failure code. New code should not call this.
+[[nodiscard]] constexpr const char* legacy_error_message(
+    StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:               return "";
+    case StatusCode::kQueueFull:        return "queue full";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+    case StatusCode::kInvalidInput:     return "bad input shape";
+    case StatusCode::kModelNotFound:    return "model not found";
+    case StatusCode::kShuttingDown:     return "engine stopped";
+    case StatusCode::kShedded:          return "shedded by admission control";
+  }
+  return "unknown error";
+}
+
+}  // namespace mfdfp::serve

@@ -1,11 +1,13 @@
 // Serving-engine properties: batcher coalescing bounds, FIFO fairness under
-// producer contention, clean worker-pool shutdown, and the load-bearing
-// invariant that the batched fast path is bit-identical to per-sample run().
+// producer contention, priority-lane draining, clean worker-pool shutdown,
+// typed status codes on every failure path, and the load-bearing invariant
+// that the batched fast path is bit-identical to per-sample run().
 #include "serve/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -22,9 +24,11 @@ namespace {
 using tensor::Shape;
 using tensor::Tensor;
 
-Request make_request(RequestId id, std::int64_t deadline_us = 0) {
+Request make_request(RequestId id, std::int64_t deadline_us = 0,
+                     Priority priority = Priority::kInteractive) {
   Request request;
   request.id = id;
+  request.priority = priority;
   request.enqueue_us = util::Stopwatch::now_us();
   request.deadline_us = deadline_us;
   return request;
@@ -46,8 +50,8 @@ hw::QNetDesc make_test_qnet(std::uint64_t seed, bool conv_net) {
   return hw::extract_qnet(net, spec, "test");
 }
 
-EngineConfig small_engine_config() {
-  EngineConfig config;
+DeployConfig small_deploy_config() {
+  DeployConfig config;
   config.in_c = 3;
   config.in_h = config.in_w = 16;
   config.max_batch = 5;
@@ -107,15 +111,18 @@ TEST(DynamicBatcher, FailsExpiredRequestsInsteadOfServingThem) {
   const std::int64_t now = util::Stopwatch::now_us();
   ASSERT_TRUE(queue.push(make_request(1, now - 10)));  // already expired
   ASSERT_TRUE(queue.push(make_request(2)));            // no deadline
+  ASSERT_TRUE(queue.push(make_request(3, now - 10)));  // also expired
 
   std::vector<Request> batch, expired;
   ASSERT_TRUE(batcher.next_batch(batch, expired));
   ASSERT_EQ(batch.size(), 1u);
   EXPECT_EQ(batch.front().id, 2u);
-  ASSERT_EQ(expired.size(), 1u);
-  const Response response = expired.front().promise.get_future().get();
-  EXPECT_FALSE(response.ok);
-  EXPECT_EQ(response.error, "deadline exceeded");
+  ASSERT_EQ(expired.size(), 2u);
+  for (Request& request : expired) {
+    const Response response = request.promise.get_future().get();
+    EXPECT_FALSE(ok(response.status));
+    EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  }
   queue.close();
 }
 
@@ -166,6 +173,112 @@ TEST(RequestQueue, RejectsWhenFullOrClosed) {
   EXPECT_FALSE(queue.pop(out));
 }
 
+// ---- queue edge cases ------------------------------------------------------
+
+TEST(RequestQueue, PushAtCapacityLeavesPromiseUsable) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.push(make_request(1)));
+
+  // The rejected request must come back intact: the caller still owns the
+  // promise and can resolve the client's future with a typed failure.
+  Request rejected = make_request(2);
+  std::future<Response> future = rejected.promise.get_future();
+  ASSERT_FALSE(queue.push(std::move(rejected)));
+  fail_request(rejected, StatusCode::kQueueFull, "queue at capacity");
+  const Response response = future.get();
+  EXPECT_EQ(response.status, StatusCode::kQueueFull);
+  queue.close();
+}
+
+TEST(RequestQueue, WaitForItemsWakesOnClose) {
+  RequestQueue queue(16);
+  const std::int64_t far_deadline = util::Stopwatch::now_us() + 60'000'000;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    // Asks for more items than will ever arrive; only close() can wake it
+    // before the (minute-long) deadline.
+    queue.wait_for_items(8, far_deadline);
+    woke.store(true);
+  });
+  // Give the waiter a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  queue.close();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(RequestQueue, FifoPreservedAcrossPartialTryPopN) {
+  RequestQueue queue(16);
+  for (RequestId id = 0; id < 7; ++id) {
+    ASSERT_TRUE(queue.push(make_request(id)));
+  }
+  std::vector<Request> popped;
+  EXPECT_EQ(queue.try_pop_n(popped, 3), 3u);  // partial pop
+  EXPECT_EQ(queue.try_pop_n(popped, 2), 2u);  // partial pop
+  EXPECT_EQ(queue.try_pop_n(popped, 5), 2u);  // drains the remainder
+  ASSERT_EQ(popped.size(), 7u);
+  for (RequestId id = 0; id < 7; ++id) {
+    EXPECT_EQ(popped[id].id, id) << "FIFO broken across partial pops";
+  }
+  EXPECT_EQ(queue.try_pop_n(popped, 1), 0u);  // empty
+  queue.close();
+}
+
+// ---- priority lanes --------------------------------------------------------
+
+TEST(RequestQueue, StrictPriorityDrainsInteractiveFirst) {
+  RequestQueue queue(16, /*priority_aware=*/true);
+  ASSERT_TRUE(queue.push(make_request(100, 0, Priority::kBatch)));
+  ASSERT_TRUE(queue.push(make_request(101, 0, Priority::kBatch)));
+  ASSERT_TRUE(queue.push(make_request(1, 0, Priority::kInteractive)));
+  ASSERT_TRUE(queue.push(make_request(102, 0, Priority::kBatch)));
+  ASSERT_TRUE(queue.push(make_request(2, 0, Priority::kInteractive)));
+  EXPECT_EQ(queue.size(), 5u);
+  EXPECT_EQ(queue.size(Priority::kInteractive), 2u);
+  EXPECT_EQ(queue.size(Priority::kBatch), 3u);
+
+  // Interactive lane drains first (FIFO within it), then batch (FIFO).
+  std::vector<Request> popped;
+  EXPECT_EQ(queue.try_pop_n(popped, 3), 3u);
+  ASSERT_EQ(popped.size(), 3u);
+  EXPECT_EQ(popped[0].id, 1u);
+  EXPECT_EQ(popped[1].id, 2u);
+  EXPECT_EQ(popped[2].id, 100u);
+  Request next;
+  ASSERT_TRUE(queue.pop(next));
+  EXPECT_EQ(next.id, 101u);
+  ASSERT_TRUE(queue.pop(next));
+  EXPECT_EQ(next.id, 102u);
+  queue.close();
+}
+
+TEST(RequestQueue, BatchCannotUseInteractiveReservedHeadroom) {
+  RequestQueue queue(16, /*priority_aware=*/true);
+  EXPECT_EQ(queue.interactive_reserve(), 2u);  // capacity / 8
+  // A deadline-less batch flood stops at capacity - reserve...
+  for (RequestId id = 0; id < 14; ++id) {
+    ASSERT_TRUE(queue.push(make_request(id, 0, Priority::kBatch)));
+  }
+  EXPECT_FALSE(queue.push(make_request(99, 0, Priority::kBatch)));
+  // ...while interactive traffic still gets the reserved slots.
+  EXPECT_TRUE(queue.push(make_request(1000, 0, Priority::kInteractive)));
+  EXPECT_TRUE(queue.push(make_request(1001, 0, Priority::kInteractive)));
+  EXPECT_FALSE(queue.push(make_request(1002, 0, Priority::kInteractive)));
+  EXPECT_EQ(queue.size(), 16u);
+  queue.close();
+}
+
+TEST(RequestQueue, FifoModeIgnoresPriority) {
+  RequestQueue queue(16, /*priority_aware=*/false);
+  ASSERT_TRUE(queue.push(make_request(100, 0, Priority::kBatch)));
+  ASSERT_TRUE(queue.push(make_request(1, 0, Priority::kInteractive)));
+  Request out;
+  ASSERT_TRUE(queue.pop(out));
+  EXPECT_EQ(out.id, 100u) << "FIFO mode must not reorder by priority";
+  queue.close();
+}
+
 // ---- executor batched fast path -------------------------------------------
 
 TEST(RunBatch, BitIdenticalToPerSampleRun) {
@@ -214,7 +327,7 @@ TEST(RunBatch, EnsembleBatchMatchesRunEnsemble) {
 TEST(InferenceEngine, ResponsesMatchDirectExecution) {
   const hw::QNetDesc desc = make_test_qnet(41, true);
   const hw::AcceleratorExecutor reference(desc);
-  InferenceEngine engine({desc}, small_engine_config());
+  InferenceEngine engine({desc}, small_deploy_config());
 
   util::Rng rng{42};
   Tensor images{Shape{16, 3, 16, 16}};
@@ -226,7 +339,7 @@ TEST(InferenceEngine, ResponsesMatchDirectExecution) {
   }
   for (std::size_t i = 0; i < futures.size(); ++i) {
     Response response = futures[i].get();
-    ASSERT_TRUE(response.ok) << response.error;
+    ASSERT_TRUE(ok(response.status)) << response.detail;
     const Tensor expected =
         reference.run(tensor::slice_outer(images, i, i + 1));
     EXPECT_EQ(tensor::max_abs_diff(response.logits, expected), 0.0f)
@@ -253,7 +366,7 @@ TEST(InferenceEngine, EnsembleAveragingMatchesRunEnsemble) {
   const hw::AcceleratorExecutor exec_a(desc_a), exec_b(desc_b);
   const std::vector<const hw::AcceleratorExecutor*> members{&exec_a, &exec_b};
 
-  InferenceEngine engine({desc_a, desc_b}, small_engine_config());
+  InferenceEngine engine({desc_a, desc_b}, small_deploy_config());
   EXPECT_EQ(engine.member_count(), 2u);
 
   util::Rng rng{53};
@@ -261,40 +374,68 @@ TEST(InferenceEngine, EnsembleAveragingMatchesRunEnsemble) {
   image.fill_uniform(rng, -1.0f, 1.0f);
 
   Response response = engine.submit(image).get();
-  ASSERT_TRUE(response.ok) << response.error;
+  ASSERT_TRUE(ok(response.status)) << response.detail;
   const Tensor expected = hw::run_ensemble(members, image);
   EXPECT_EQ(tensor::max_abs_diff(response.logits, expected), 0.0f);
 }
 
-TEST(InferenceEngine, RejectsBadShapes) {
+TEST(InferenceEngine, RejectsBadShapesWithInvalidInput) {
   const hw::QNetDesc desc = make_test_qnet(61, false);
-  InferenceEngine engine({desc}, small_engine_config());
+  InferenceEngine engine({desc}, small_deploy_config());
 
   Tensor wrong{Shape{2, 3, 16, 16}};  // batch of 2 in one request
   Response response = engine.submit(std::move(wrong)).get();
-  EXPECT_FALSE(response.ok);
-  EXPECT_NE(response.error.find("bad input shape"), std::string::npos);
+  EXPECT_EQ(response.status, StatusCode::kInvalidInput);
+  EXPECT_NE(response.detail.find("bad input shape"), std::string::npos);
 
   Tensor wrong_size{Shape{3, 8, 8}};
   response = engine.submit(std::move(wrong_size)).get();
-  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.status, StatusCode::kInvalidInput);
 
   // Same element count, permuted layout: must be rejected, not served as
   // scrambled data.
   Tensor permuted{Shape{16, 3, 16}};
   response = engine.submit(std::move(permuted)).get();
-  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.status, StatusCode::kInvalidInput);
 
   Tensor rank2{Shape{3, 256}};
   response = engine.submit(std::move(rank2)).get();
-  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.status, StatusCode::kInvalidInput);
 
   EXPECT_EQ(engine.stats().snapshot().rejected, 4u);
 }
 
+TEST(InferenceEngine, ExpiredAtSubmitFailsImmediatelyAsTimedOut) {
+  const hw::QNetDesc desc = make_test_qnet(62, false);
+  DeployConfig config = small_deploy_config();
+  // Park the workers in a long coalescing wait so a queued request would
+  // sit for a while — the expired request must not reach the queue at all.
+  config.max_batch = 64;
+  config.max_wait_us = 500'000;
+  InferenceEngine engine({desc}, config);
+
+  util::Rng rng{63};
+  Tensor image{Shape{1, 3, 16, 16}};
+  image.fill_uniform(rng, -1.0f, 1.0f);
+
+  SubmitOptions expired_options;
+  expired_options.deadline_us = util::Stopwatch::now_us() - 1;
+  util::Stopwatch watch;
+  const Response response =
+      engine.submit(std::move(image), expired_options).get();
+  EXPECT_EQ(response.status, StatusCode::kDeadlineExceeded);
+  // Resolved at submit, not after the 500 ms batcher wait.
+  EXPECT_LT(watch.micros(), 400'000);
+  EXPECT_EQ(engine.queue_depth(), 0u) << "expired request took a queue slot";
+
+  const StatsSnapshot stats = engine.stats().snapshot();
+  EXPECT_EQ(stats.timed_out, 1u) << "expiry at submit counts as timed_out";
+  EXPECT_EQ(stats.rejected, 0u) << "expiry at submit is not a rejection";
+}
+
 TEST(InferenceEngine, StopDrainsPendingWorkWithoutDeadlock) {
   const hw::QNetDesc desc = make_test_qnet(71, false);
-  EngineConfig config = small_engine_config();
+  DeployConfig config = small_deploy_config();
   // Park requests in the coalescing wait so stop() races batch formation.
   config.max_batch = 64;
   config.max_wait_us = 500'000;
@@ -313,7 +454,7 @@ TEST(InferenceEngine, StopDrainsPendingWorkWithoutDeadlock) {
   std::size_t completed = 0;
   for (auto& future : futures) {
     const Response response = future.get();
-    if (response.ok) ++completed;
+    if (ok(response.status)) ++completed;
   }
   EXPECT_EQ(completed, 10u) << "drained shutdown must complete queued work";
 
@@ -322,13 +463,12 @@ TEST(InferenceEngine, StopDrainsPendingWorkWithoutDeadlock) {
   Tensor image{Shape{1, 3, 16, 16}};
   image.fill_uniform(rng, -1.0f, 1.0f);
   const Response rejected = engine.submit(std::move(image)).get();
-  EXPECT_FALSE(rejected.ok);
-  EXPECT_EQ(rejected.error, "engine stopped");
+  EXPECT_EQ(rejected.status, StatusCode::kShuttingDown);
 }
 
 TEST(InferenceEngine, ManyConcurrentClients) {
   const hw::QNetDesc desc = make_test_qnet(81, false);
-  EngineConfig config = small_engine_config();
+  DeployConfig config = small_deploy_config();
   config.max_batch = 8;
   config.workers = 4;
   InferenceEngine engine({desc}, config);
@@ -340,10 +480,15 @@ TEST(InferenceEngine, ManyConcurrentClients) {
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&engine, &ok_count, c] {
       util::Rng rng{static_cast<std::uint64_t>(100 + c)};
+      // Half the clients submit batch-priority traffic: mixed classes must
+      // all complete when there is no overload.
+      SubmitOptions options;
+      options.priority = c % 2 == 0 ? Priority::kInteractive
+                                    : Priority::kBatch;
       for (int i = 0; i < kPerClient; ++i) {
         Tensor image{Shape{1, 3, 16, 16}};
         image.fill_uniform(rng, -1.0f, 1.0f);
-        if (engine.submit(std::move(image)).get().ok) {
+        if (ok(engine.submit(std::move(image), options).get().status)) {
           ok_count.fetch_add(1);
         }
       }
@@ -354,10 +499,18 @@ TEST(InferenceEngine, ManyConcurrentClients) {
   const StatsSnapshot stats = engine.stats().snapshot();
   EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kClients) * kPerClient);
   EXPECT_GT(stats.mean_batch_size, 0.99);
+  const std::size_t interactive =
+      static_cast<std::size_t>(Priority::kInteractive);
+  const std::size_t batch = static_cast<std::size_t>(Priority::kBatch);
+  EXPECT_EQ(stats.completed_by_class[interactive] +
+                stats.completed_by_class[batch],
+            stats.completed);
+  EXPECT_GT(stats.completed_by_class[interactive], 0u);
+  EXPECT_GT(stats.completed_by_class[batch], 0u);
 }
 
 TEST(InferenceEngine, ThrowsOnEmptyModelList) {
-  EXPECT_THROW(InferenceEngine({}, small_engine_config()),
+  EXPECT_THROW(InferenceEngine({}, small_deploy_config()),
                std::invalid_argument);
 }
 
