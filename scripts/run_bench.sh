@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the serving benches and assembles BENCH_serve.json in the repo root
 # for the perf trajectory: the git SHA, the serial-vs-batched throughput
-# numbers (serve_throughput), and the multi-model priority/admission ablation
-# numbers (ablation_multimodel).
+# numbers (serve_throughput), the multi-model priority/admission ablation
+# numbers (ablation_multimodel), and the replica-scaling numbers
+# (ablation_replicas).
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 # Respects MFDFP_QUICK=1 for a ~4x faster run.
@@ -11,7 +12,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-for target in serve_throughput ablation_multimodel; do
+for target in serve_throughput ablation_multimodel ablation_replicas; do
   if [[ ! -x "$build_dir/$target" ]]; then
     echo "building $target in $build_dir..."
     cmake -B "$build_dir" -S "$repo_root"
@@ -24,6 +25,7 @@ trap 'rm -rf "$tmp_dir"' EXIT
 
 "$build_dir/serve_throughput" "$tmp_dir/serve.json"
 "$build_dir/ablation_multimodel" "$tmp_dir/multimodel.json"
+"$build_dir/ablation_replicas" "$tmp_dir/replicas.json"
 
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
@@ -34,6 +36,9 @@ git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknow
   echo "  ,"
   echo "  \"multimodel\":"
   sed 's/^/  /' "$tmp_dir/multimodel.json"
+  echo "  ,"
+  echo "  \"replicas\":"
+  sed 's/^/  /' "$tmp_dir/replicas.json"
   echo "}"
 } > "$repo_root/BENCH_serve.json"
 

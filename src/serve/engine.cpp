@@ -1,8 +1,10 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "hw/cycle_model.hpp"
@@ -24,6 +26,10 @@ InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
     throw std::invalid_argument("InferenceEngine: no model members");
   }
   if (config_.workers == 0) config_.workers = 1;
+  // One pacing thread per modeled accelerator: concurrent pacing workers
+  // would each sleep out the same cycle-model budget and overstate paced
+  // throughput by the worker count (see DeployConfig::paced_execution).
+  if (config_.paced_execution) config_.workers = 1;
 
   executors_.reserve(members.size());
   for (hw::QNetDesc& desc : members) {
@@ -106,13 +112,12 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
   const std::size_t depth = queue_.size();
 
   // Admission control: refuse kBatch work whose estimated queue delay
-  // (depth x per-sample simulated accelerator cost) already blows the
-  // deadline budget. Interactive traffic is never shed, and deadline-less
-  // batch traffic has an infinite budget.
+  // (outstanding requests x per-sample simulated accelerator cost) already
+  // blows the deadline budget. Interactive traffic is never shed, and
+  // deadline-less batch traffic has an infinite budget.
   if (config_.admission_control && request.priority == Priority::kBatch &&
       request.deadline_us != 0) {
-    const double est_delay_us =
-        static_cast<double>(depth) * sample_accel_us_;
+    const double est_delay_us = outstanding_work_us();
     const double budget_us =
         static_cast<double>(request.deadline_us - request.enqueue_us);
     if (est_delay_us > budget_us) {
@@ -124,7 +129,12 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
   }
 
   stats_.record_queue_depth(depth);
+  const std::size_t lane = static_cast<std::size_t>(request.priority);
+  // Counted before the push: a worker that pops the request must never see
+  // the counter at zero while it holds live work.
+  outstanding_[lane].fetch_add(1, std::memory_order_relaxed);
   if (!queue_.push(std::move(request))) {
+    outstanding_[lane].fetch_sub(1, std::memory_order_relaxed);
     // push() left the request intact on failure, promise included.
     stats_.record_rejected();
     if (queue_.closed()) {
@@ -159,8 +169,10 @@ void InferenceEngine::worker_main(std::size_t /*worker_index*/) {
   hw::ExecScratch scratch;
   std::vector<Request> batch, expired;
   while (batcher_.next_batch(batch, expired)) {
-    for (std::size_t i = 0; i < expired.size(); ++i) {
+    for (const Request& request : expired) {
       stats_.record_timeout();
+      outstanding_[static_cast<std::size_t>(request.priority)].fetch_sub(
+          1, std::memory_order_relaxed);
     }
     if (!batch.empty()) execute_batch(batch, scratch);
   }
@@ -188,6 +200,17 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
 
   const double sim_us = simulated_batch_us(batch_size);
   const double sim_dma = simulated_batch_dma_bytes(batch_size);
+  if (config_.paced_execution) {
+    // Hold the batch until the simulated accelerator would have finished it,
+    // so wall-clock behaviour (throughput, tails, replica scaling) tracks
+    // the cycle model instead of the host CPU.
+    const std::int64_t target_us =
+        formed_us + static_cast<std::int64_t>(sim_us);
+    const std::int64_t now = util::Stopwatch::now_us();
+    if (target_us > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(target_us - now));
+    }
+  }
   const std::int64_t done_us = util::Stopwatch::now_us();
   const std::size_t classes = logits.shape().dim(1);
 
@@ -202,6 +225,7 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
         logits.argmax(i * classes, (i + 1) * classes) - i * classes);
     response.model = config_.model_name;
     response.model_version = config_.model_version;
+    response.replica = config_.replica_index;
     response.priority = batch[i].priority;
     response.queue_wait_us = formed_us - batch[i].enqueue_us;
     response.service_us = done_us - formed_us;
@@ -212,6 +236,8 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
     stats_.record_response(response.e2e_us, response.queue_wait_us,
                            batch[i].priority);
     batch[i].promise.set_value(std::move(response));
+    outstanding_[static_cast<std::size_t>(batch[i].priority)].fetch_sub(
+        1, std::memory_order_relaxed);
   }
 }
 

@@ -11,9 +11,10 @@
 //
 // Scheduling: the queue drains strict priority (kInteractive before kBatch)
 // when `priority_scheduling` is on, and `admission_control` sheds kBatch
-// requests at submit time when the estimated queue delay (queue depth x
-// per-sample simulated accelerator cost) already exceeds the request's
-// deadline budget — an overloaded engine fails cheap traffic fast instead
+// requests at submit time when the estimated queue delay (outstanding
+// requests — queued plus executing — x per-sample simulated accelerator
+// cost) already exceeds the request's deadline budget — an overloaded
+// engine fails cheap traffic fast instead
 // of queueing work it cannot finish in time. Requests whose deadline has
 // already passed at submit fail immediately with kDeadlineExceeded (counted
 // as timed_out) instead of occupying a queue slot until batch formation.
@@ -27,6 +28,7 @@
 // is ever abandoned.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <future>
 #include <memory>
@@ -61,9 +63,33 @@ struct DeployConfig {
   bool priority_scheduling = true;  ///< strict-priority queue drain
   bool admission_control = true;    ///< shed kBatch when delay > budget
 
-  /// Identity stamped into responses; the registry fills these on deploy.
+  /// Engine replicas behind one name (see serve/replica_set.hpp). Each
+  /// replica is a full InferenceEngine — own queue, worker pool, and
+  /// simulated accelerator instance — and the ReplicaSet routes each
+  /// submission to the least-loaded one.
+  std::size_t num_replicas = 1;
+
+  /// QoS quota: max outstanding kBatch requests across the *whole* replica
+  /// set; excess kBatch submissions resolve kShedded at the router. 0 =
+  /// unlimited. Interactive traffic is never quota-limited.
+  std::size_t batch_quota = 0;
+
+  /// When true, a worker holds each executed batch until the simulated
+  /// accelerator would have finished it (batch formation + cycle-model
+  /// latency), so wall-clock throughput and tails reproduce the modeled
+  /// hardware's real-time behaviour instead of the host CPU's. Logits are
+  /// unaffected. The engine forces `workers` to 1 in this mode — the
+  /// engine models exactly one accelerator, and N pacing threads would
+  /// drain N accelerators' worth of work; scale capacity with
+  /// `num_replicas` instead. This is what lets bench/ablation_replicas
+  /// measure replica scaling on any host core count.
+  bool paced_execution = false;
+
+  /// Identity stamped into responses; the registry fills these on deploy
+  /// and the ReplicaSet fills replica_index.
   std::string model_name;
   std::uint32_t model_version = 0;
+  std::uint32_t replica_index = 0;
 
   /// Accelerator instance used for the simulated-latency/DMA accounting.
   hw::AcceleratorConfig accel{};
@@ -92,9 +118,34 @@ class InferenceEngine {
   void stop();
 
   [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_depth(Priority priority) const {
+    return queue_.size(priority);
+  }
   [[nodiscard]] const DeployConfig& config() const noexcept {
     return config_;
+  }
+
+  /// Requests accepted but not yet resolved: queued plus in execution.
+  /// This is what load-aware replica routing balances on — queue depth
+  /// alone goes blind while a worker holds a popped batch.
+  [[nodiscard]] std::size_t outstanding(Priority priority) const noexcept {
+    return outstanding_[static_cast<std::size_t>(priority)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t outstanding_total() const noexcept {
+    std::size_t total = 0;
+    for (const auto& counter : outstanding_) {
+      total += counter.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Outstanding requests x per-sample simulated accelerator cost: the work,
+  /// in modeled microseconds, this engine has committed to but not finished.
+  [[nodiscard]] double outstanding_work_us() const noexcept {
+    return static_cast<double>(outstanding_total()) * sample_accel_us_;
   }
   [[nodiscard]] std::size_t member_count() const noexcept {
     return executors_.size();
@@ -115,10 +166,10 @@ class InferenceEngine {
   [[nodiscard]] double simulated_batch_dma_bytes(
       std::size_t batch_size) const;
 
-  /// Admission-control estimate: current queue depth x per-sample simulated
-  /// accelerator cost.
+  /// Admission-control estimate: outstanding work (queued + executing) in
+  /// modeled microseconds.
   [[nodiscard]] double estimated_queue_delay_us() const {
-    return static_cast<double>(queue_.size()) * sample_accel_us_;
+    return outstanding_work_us();
   }
 
  private:
@@ -140,6 +191,8 @@ class InferenceEngine {
   ServerStats stats_;
   std::atomic<RequestId> next_id_{1};
   std::atomic<bool> stopped_{false};
+  /// Accepted-but-unresolved requests per priority class (see outstanding()).
+  std::array<std::atomic<std::size_t>, kPriorityClasses> outstanding_{};
 };
 
 }  // namespace mfdfp::serve

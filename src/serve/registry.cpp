@@ -13,7 +13,7 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
   }
 
   // Reserve the version first so concurrent redeploys of one name get
-  // distinct versions even though engines are built outside the lock.
+  // distinct versions even though replica sets are built outside the lock.
   std::uint32_t version = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -22,21 +22,21 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
 
   config.model_name = name;
   config.model_version = version;
-  // Built outside the lock: on redeploy the old engine keeps serving while
-  // the replacement constructs (weight predecode, worker spawn).
-  auto engine = std::make_shared<InferenceEngine>(std::move(members),
-                                                  std::move(config));
+  // Built outside the lock: on redeploy the old set keeps serving while
+  // every replacement replica constructs (weight predecode, worker spawn).
+  auto replicas =
+      std::make_shared<ReplicaSet>(std::move(members), std::move(config));
 
-  std::shared_ptr<InferenceEngine> replaced;
+  std::shared_ptr<ReplicaSet> replaced;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     Entry& entry = entries_[name];
     // A concurrent deploy may have published a newer version already; only
     // swap in if this deployment is the newest.
-    if (entry.engine && entry.version > version) {
-      replaced = std::move(engine);
+    if (entry.replicas && entry.version > version) {
+      replaced = std::move(replicas);
     } else {
-      replaced = std::exchange(entry.engine, std::move(engine));
+      replaced = std::exchange(entry.replicas, std::move(replicas));
       entry.version = version;
     }
   }
@@ -45,23 +45,23 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
 }
 
 bool ModelRegistry::undeploy(const std::string& name) {
-  std::shared_ptr<InferenceEngine> removed;
+  std::shared_ptr<ReplicaSet> removed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end()) return false;
-    removed = std::move(it->second.engine);
+    removed = std::move(it->second.replicas);
     entries_.erase(it);
   }
   removed->stop();  // drain: every queued request resolves before we return
   return true;
 }
 
-std::shared_ptr<InferenceEngine> ModelRegistry::find(
+std::shared_ptr<ReplicaSet> ModelRegistry::find(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.engine;
+  return it == entries_.end() ? nullptr : it->second.replicas;
 }
 
 std::vector<ModelHandle> ModelRegistry::models() const {
@@ -80,16 +80,16 @@ std::size_t ModelRegistry::size() const {
 }
 
 void ModelRegistry::clear() {
-  std::vector<std::shared_ptr<InferenceEngine>> removed;
+  std::vector<std::shared_ptr<ReplicaSet>> removed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     removed.reserve(entries_.size());
     for (auto& [name, entry] : entries_) {
-      removed.push_back(std::move(entry.engine));
+      removed.push_back(std::move(entry.replicas));
     }
     entries_.clear();
   }
-  for (auto& engine : removed) engine->stop();
+  for (auto& replicas : removed) replicas->stop();
 }
 
 }  // namespace mfdfp::serve

@@ -1,17 +1,18 @@
 // ModelRegistry: named, versioned catalogue of deployed models.
 //
-// Each deploy(name, members, config) builds a fresh InferenceEngine (its own
-// queue + worker pool, so models are isolated and run concurrently) and
-// publishes it under `name`; deploying an existing name is a hot redeploy —
-// the new engine is built and swapped in while the old one keeps serving,
-// then the old engine is drained (every in-flight request resolves with the
-// old version stamped) and destroyed once the last client reference drops.
-// Versions increase monotonically per name and survive undeploy, so a
-// redeployed model never reuses a version number.
+// Each deploy(name, members, config) builds a fresh ReplicaSet —
+// config.num_replicas isolated InferenceEngines (each its own queue +
+// worker pool), so models and their replicas all run concurrently — and
+// publishes it under `name`; deploying an existing name is a hot redeploy:
+// the new set is built and swapped in while the old one keeps serving, then
+// *every replica* of the old set is drained (each in-flight request
+// resolves with the old version stamped) and the set is destroyed once the
+// last client reference drops. Versions increase monotonically per name and
+// survive undeploy, so a redeployed model never reuses a version number.
 //
-// Lookup hands out shared_ptr<InferenceEngine>: a submit racing an undeploy
+// Lookup hands out shared_ptr<ReplicaSet>: a submit racing an undeploy
 // either misses the entry (kModelNotFound) or holds a reference that keeps
-// the engine alive until its future resolves — undeploy drains, it never
+// the whole set alive until its future resolves — undeploy drains, it never
 // abandons promises.
 #pragma once
 
@@ -21,7 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "serve/engine.hpp"
+#include "serve/replica_set.hpp"
 
 namespace mfdfp::serve {
 
@@ -39,20 +40,22 @@ class ModelRegistry {
   ModelRegistry(const ModelRegistry&) = delete;
   ModelRegistry& operator=(const ModelRegistry&) = delete;
 
-  /// Deploys (or hot-redeploys) `members` under `name`. `config.model_name`
-  /// and `config.model_version` are overwritten with the registry identity.
+  /// Deploys (or hot-redeploys) `members` under `name` as a ReplicaSet of
+  /// `config.num_replicas` engines. `config.model_name` and
+  /// `config.model_version` are overwritten with the registry identity.
   /// Throws std::invalid_argument for an empty name or member list. On
-  /// redeploy, the replaced engine is drained before this returns.
+  /// redeploy, every replica of the replaced set is drained before this
+  /// returns.
   ModelHandle deploy(const std::string& name,
                      std::vector<hw::QNetDesc> members, DeployConfig config);
 
-  /// Removes `name` and drains its engine (all in-flight requests resolve).
-  /// Returns false when no such model is deployed.
+  /// Removes `name` and drains every replica of its set (all in-flight
+  /// requests resolve). Returns false when no such model is deployed.
   bool undeploy(const std::string& name);
 
-  /// The engine serving `name`, or nullptr. The shared_ptr keeps a drained
-  /// engine's stats readable even after undeploy.
-  [[nodiscard]] std::shared_ptr<InferenceEngine> find(
+  /// The replica set serving `name`, or nullptr. The shared_ptr keeps a
+  /// drained set's stats readable even after undeploy.
+  [[nodiscard]] std::shared_ptr<ReplicaSet> find(
       const std::string& name) const;
 
   /// Handles of every deployed model, unordered.
@@ -60,12 +63,12 @@ class ModelRegistry {
 
   [[nodiscard]] std::size_t size() const;
 
-  /// Undeploys everything (drains each engine).
+  /// Undeploys everything (drains every replica of every set).
   void clear();
 
  private:
   struct Entry {
-    std::shared_ptr<InferenceEngine> engine;
+    std::shared_ptr<ReplicaSet> replicas;
     std::uint32_t version = 0;
   };
 

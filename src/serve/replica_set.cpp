@@ -1,0 +1,139 @@
+#include "serve/replica_set.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace mfdfp::serve {
+
+ReplicaSet::ReplicaSet(std::vector<hw::QNetDesc> members,
+                       DeployConfig config)
+    : config_(std::move(config)) {
+  if (config_.num_replicas == 0) config_.num_replicas = 1;
+  replicas_.reserve(config_.num_replicas);
+  for (std::size_t index = 0; index < config_.num_replicas; ++index) {
+    DeployConfig replica_config = config_;
+    replica_config.replica_index = static_cast<std::uint32_t>(index);
+    // The last replica can move the members; the others copy.
+    std::vector<hw::QNetDesc> replica_members =
+        index + 1 == config_.num_replicas ? std::move(members) : members;
+    replicas_.push_back(std::make_shared<InferenceEngine>(
+        std::move(replica_members), std::move(replica_config)));
+  }
+}
+
+std::size_t ReplicaSet::pick_replica() {
+  // Least outstanding work, in modeled microseconds. All replicas of one
+  // set share a per-sample cost today, but the comparison stays in work
+  // units so heterogeneous replicas (e.g. differently-provisioned
+  // accelerators) would route correctly. The tied minimum is collected in
+  // the same pass that finds it: loads shift under concurrent submits, and
+  // re-reading them for the tie-break could leave it with no candidates.
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> tied;
+  tied.reserve(replicas_.size());
+  for (std::size_t index = 0; index < replicas_.size(); ++index) {
+    const double load = replicas_[index]->outstanding_work_us();
+    if (load < best) {
+      best = load;
+      tied.assign(1, index);
+    } else if (load == best) {
+      tied.push_back(index);
+    }
+  }
+  // Round-robin across the tied minimum so an idle set spreads traffic
+  // instead of piling onto the first replica.
+  if (tied.size() == 1) return tied.front();
+  return tied[round_robin_.fetch_add(1, std::memory_order_relaxed) %
+              tied.size()];
+}
+
+std::future<Response> ReplicaSet::submit(tensor::Tensor sample,
+                                         SubmitOptions options) {
+  const std::size_t index = pick_replica();
+  const std::shared_ptr<InferenceEngine>& target = replicas_[index];
+
+  // Set-wide QoS quota: kBatch admission is capped across all replicas, so
+  // a batch flood cannot occupy N queues just because the model is
+  // replicated. Checked against the pre-submit total — concurrent
+  // submitters may overshoot by their count, which is stats-grade
+  // enforcement, not a hard resource bound (each replica queue stays
+  // bounded regardless).
+  if (config_.batch_quota > 0 && options.priority == Priority::kBatch &&
+      outstanding_batch() >= config_.batch_quota) {
+    quota_shed_.fetch_add(1, std::memory_order_relaxed);
+    target->stats().record_shedded();
+    return ready_failure(StatusCode::kShedded,
+                         "batch quota exhausted across replica set",
+                         options.priority);
+  }
+  return target->submit(std::move(sample), options);
+}
+
+void ReplicaSet::stop() {
+  for (const auto& replica : replicas_) replica->stop();
+}
+
+std::size_t ReplicaSet::outstanding_batch() const noexcept {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->outstanding(Priority::kBatch);
+  }
+  return total;
+}
+
+std::size_t ReplicaSet::queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) total += replica->queue_depth();
+  return total;
+}
+
+double ReplicaSet::estimated_queue_delay_us() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& replica : replicas_) {
+    best = std::min(best, replica->estimated_queue_delay_us());
+  }
+  return replicas_.empty() ? 0.0 : best;
+}
+
+StatsSnapshot ReplicaSet::aggregated_snapshot() const {
+  std::vector<const ServerStats*> parts;
+  parts.reserve(replicas_.size());
+  for (const auto& replica : replicas_) parts.push_back(&replica->stats());
+  return ServerStats::aggregate(parts);
+}
+
+std::vector<StatsSnapshot> ReplicaSet::replica_snapshots() const {
+  std::vector<StatsSnapshot> snapshots;
+  snapshots.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    snapshots.push_back(replica->stats().snapshot());
+  }
+  return snapshots;
+}
+
+std::string ReplicaSet::stats_table(const std::string& title) const {
+  std::string out = render_stats_tables(aggregated_snapshot(), title);
+  if (replicas_.size() < 2) return out;
+
+  util::TablePrinter per_replica(title + " — per replica");
+  per_replica.set_header({"replica", "completed", "timed out", "shedded",
+                          "e2e p50 (us)", "e2e p99 (us)", "sim busy (us)"});
+  const std::vector<StatsSnapshot> snapshots = replica_snapshots();
+  for (std::size_t index = 0; index < snapshots.size(); ++index) {
+    const StatsSnapshot& s = snapshots[index];
+    per_replica.add_row({std::to_string(index), std::to_string(s.completed),
+                         std::to_string(s.timed_out),
+                         std::to_string(s.shedded),
+                         std::to_string(s.e2e_p50_us),
+                         std::to_string(s.e2e_p99_us),
+                         util::fmt_fixed(s.sim_accel_busy_us, 1)});
+  }
+  out += "\n";
+  out += per_replica.to_string();
+  return out;
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,108 @@
+// ReplicaSet: one model name sharded across N InferenceEngine replicas.
+//
+// The registry maps each deployed name to one ReplicaSet rather than one
+// engine. Every replica is a full InferenceEngine — its own queue, worker
+// pool, and simulated accelerator instance — built from the same members
+// and DeployConfig, so the set models N copies of the paper's accelerator
+// serving one model. A single-replica set (num_replicas = 1, the default)
+// behaves exactly like the pre-replica registry.
+//
+// Routing is load-aware: each submission goes to the replica with the least
+// outstanding work (accepted-but-unresolved requests x per-sample simulated
+// accelerator cost — queued *and* executing, so a replica whose worker holds
+// a popped batch is not mistaken for idle). Ties — the common case on an
+// idle set, where every load is zero — fall back to round-robin so traffic
+// spreads instead of piling onto replica 0.
+//
+// QoS quota: DeployConfig.batch_quota caps outstanding kBatch requests
+// across the *whole* set. Quota-refused submissions resolve kShedded before
+// touching any replica queue, and the shed is recorded on the replica that
+// would have received the request so aggregated stats count it. Interactive
+// traffic is never quota-limited. Per-replica admission control (deadline
+// budget vs estimated delay) still applies underneath.
+//
+// stop() drains every replica — each queue closes and its in-flight work
+// resolves — before returning, which is what hot-redeploy/undeploy/shutdown
+// rely on: no promise of any replica is ever abandoned.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace mfdfp::serve {
+
+class ReplicaSet {
+ public:
+  /// Builds config.num_replicas engines (>= 1; each gets a copy of
+  /// `members` and the config with its replica_index stamped) and starts
+  /// all their worker pools.
+  ReplicaSet(std::vector<hw::QNetDesc> members, DeployConfig config);
+
+  ~ReplicaSet() { stop(); }
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  /// Routes one sample to the least-loaded replica (see file comment).
+  /// Enforces the set-wide kBatch quota before dispatch.
+  [[nodiscard]] std::future<Response> submit(tensor::Tensor sample,
+                                             SubmitOptions options = {});
+
+  /// Stops and drains every replica. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::size_t replica_count() const noexcept {
+    return replicas_.size();
+  }
+  [[nodiscard]] const std::shared_ptr<InferenceEngine>& replica(
+      std::size_t index) const {
+    return replicas_[index];
+  }
+  [[nodiscard]] const DeployConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Outstanding kBatch requests across the whole set (the quantity the
+  /// batch_quota caps).
+  [[nodiscard]] std::size_t outstanding_batch() const noexcept;
+
+  /// Queued requests summed over replicas.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Delay a new submission would see: the *minimum* estimated queue delay
+  /// over replicas, since routing sends it to the least-loaded one.
+  [[nodiscard]] double estimated_queue_delay_us() const;
+
+  /// kBatch submissions refused by the set-wide quota (also counted as
+  /// shedded in the receiving replica's ServerStats).
+  [[nodiscard]] std::uint64_t quota_shed_count() const noexcept {
+    return quota_shed_.load(std::memory_order_relaxed);
+  }
+
+  /// Exact cross-replica aggregation of every replica's ServerStats
+  /// (histograms merge bucket-by-bucket; see ServerStats::aggregate).
+  [[nodiscard]] StatsSnapshot aggregated_snapshot() const;
+
+  /// One snapshot per replica, in replica-index order.
+  [[nodiscard]] std::vector<StatsSnapshot> replica_snapshots() const;
+
+  /// The aggregated ServerStats tables plus a per-replica breakdown table
+  /// (one row per replica), ready to print.
+  [[nodiscard]] std::string stats_table(const std::string& title) const;
+
+ private:
+  /// Index of the replica with the least outstanding work; ties round-robin.
+  [[nodiscard]] std::size_t pick_replica();
+
+  DeployConfig config_;
+  std::vector<std::shared_ptr<InferenceEngine>> replicas_;
+  std::atomic<std::uint64_t> round_robin_{0};
+  std::atomic<std::uint64_t> quota_shed_{0};
+};
+
+}  // namespace mfdfp::serve

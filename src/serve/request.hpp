@@ -52,6 +52,9 @@ struct Response {
   // Which deployment served the request (empty/0 on pre-dispatch failures).
   std::string model;
   std::uint32_t model_version = 0;
+  /// Index of the replica that executed the request within its ReplicaSet
+  /// (0 for single-replica deployments; meaningful only when status == kOk).
+  std::uint32_t replica = 0;
   Priority priority = Priority::kInteractive;
 
   // Wall-clock accounting (microseconds, host monotonic clock).
@@ -62,9 +65,12 @@ struct Response {
   // Batch context.
   std::size_t batch_size = 0;  ///< how many requests shared the batch
 
-  // Simulated-hardware accounting for the whole batch this request rode in.
-  double sim_accel_us = 0.0;   ///< cycle-model latency of the batch
-  double sim_dma_bytes = 0.0;  ///< traffic-model bytes attributed per request
+  // Simulated-hardware accounting (note the differing attribution:
+  // sim_accel_us is the whole batch's latency — every rider experienced all
+  // of it — while DMA bytes are divided across the batch's requests so
+  // summing responses never double-counts traffic).
+  double sim_accel_us = 0.0;   ///< cycle-model latency of the whole batch
+  double sim_dma_bytes = 0.0;  ///< traffic-model bytes, this request's share
 };
 
 struct Request {

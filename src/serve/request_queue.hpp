@@ -9,10 +9,11 @@
 // test_serve.cpp checks. With `priority_aware = false` every request lands
 // in a single global FIFO regardless of its priority class (the ablation
 // baseline). Capacity is shared across lanes, except that in priority-aware
-// mode 1/8 of it (for capacities >= 8) is reserved for kInteractive: a
-// deadline-less kBatch flood that admission control cannot shed would
-// otherwise fill the queue and starve interactive traffic with kQueueFull
-// at the door — the exact overload regime priority classes exist for.
+// mode 1/8 of it (minimum one slot, for capacities >= 2) is reserved for
+// kInteractive: a deadline-less kBatch flood that admission control cannot
+// shed would otherwise fill the queue and starve interactive traffic with
+// kQueueFull at the door — the exact overload regime priority classes exist
+// for.
 //
 // The queue supports the two waits batching needs: "block until at least one
 // request or closed" and "block until >= n requests or a deadline or
@@ -66,10 +67,16 @@ class RequestQueue {
   /// priority-aware).
   [[nodiscard]] std::size_t size(Priority priority) const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Slots only kInteractive may occupy (0 when not priority-aware or for
-  /// capacities below 8).
+  /// Slots only kInteractive may occupy: 1/8 of capacity, but never less
+  /// than one slot for capacities >= 2. Without the floor, capacities below
+  /// 8 rounded the reserve to 0 and a kBatch flood could occupy every slot —
+  /// the degenerate case the reserve exists to prevent. (0 when not
+  /// priority-aware, or for capacities < 2 where reserving would leave
+  /// kBatch no slot at all.)
   [[nodiscard]] std::size_t interactive_reserve() const noexcept {
-    return priority_aware_ && capacity_ >= 8 ? capacity_ / 8 : 0;
+    if (!priority_aware_ || capacity_ < 2) return 0;
+    const std::size_t eighth = capacity_ / 8;
+    return eighth == 0 ? 1 : eighth;
   }
   [[nodiscard]] bool priority_aware() const noexcept {
     return priority_aware_;

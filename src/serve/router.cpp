@@ -7,19 +7,29 @@ namespace mfdfp::serve {
 std::future<Response> Router::submit(const std::string& model,
                                      tensor::Tensor sample,
                                      SubmitOptions options) {
-  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
-  if (!engine) {
+  // The shared_ptr pins the set (and so its engines) for the whole submit
+  // path: a concurrent undeploy/shutdown drains, it cannot free under us.
+  const std::shared_ptr<ReplicaSet> replicas = registry_.find(model);
+  if (!replicas) {
+    // The registry mutex orders this miss after a concurrent clear(), and
+    // the server stores its shutdown flag before clearing — so if the flag
+    // reads false here, the model genuinely was not deployed.
+    if (shutting_down_ != nullptr &&
+        shutting_down_->load(std::memory_order_acquire)) {
+      return ready_failure(StatusCode::kShuttingDown, "server shut down",
+                           options.priority);
+    }
     not_found_.fetch_add(1, std::memory_order_relaxed);
     return ready_failure(StatusCode::kModelNotFound,
                          "no model deployed as \"" + model + "\"",
                          options.priority);
   }
-  return engine->submit(std::move(sample), options);
+  return replicas->submit(std::move(sample), options);
 }
 
 double Router::estimated_queue_delay_us(const std::string& model) const {
-  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
-  return engine ? engine->estimated_queue_delay_us() : 0.0;
+  const std::shared_ptr<ReplicaSet> replicas = registry_.find(model);
+  return replicas ? replicas->estimated_queue_delay_us() : 0.0;
 }
 
 }  // namespace mfdfp::serve

@@ -1,14 +1,21 @@
-// Router: name-based dispatch of submissions onto registry engines.
+// Router: name-based dispatch of submissions onto registry replica sets.
 //
-// The router is deliberately thin: it resolves the model name against the
-// ModelRegistry and forwards the sample with its SubmitOptions to that
-// model's engine, which applies the scheduling policies (strict priority
-// drain, admission control, deadline handling). Unknown names resolve
-// immediately with kModelNotFound — and the router counts them, since no
-// per-model ServerStats exists to attribute the miss to.
+// The router resolves the model name against the ModelRegistry and forwards
+// the sample with its SubmitOptions to that model's ReplicaSet, which picks
+// the least-loaded replica (engine) and applies the set-wide QoS quota; the
+// chosen engine then applies the per-replica scheduling policies (strict
+// priority drain, admission control, deadline handling). Unknown names
+// resolve immediately with kModelNotFound — and the router counts them,
+// since no per-model ServerStats exists to attribute the miss to.
 //
 // A lookup racing an undeploy is safe: the shared_ptr handed out by the
-// registry keeps the (draining) engine alive until its futures resolve.
+// registry pins the (draining) set for the whole submit path, so its
+// engines stay alive until their futures resolve. A lookup racing
+// shutdown() is *deterministic*: the server binds its shutdown flag here,
+// the flag is set before the registry is cleared, and a find() that misses
+// because the clear won checks the flag — so a submit concurrent with
+// shutdown resolves kShuttingDown, never a spurious kModelNotFound for a
+// model that was deployed moments ago.
 #pragma once
 
 #include <atomic>
@@ -22,19 +29,25 @@ namespace mfdfp::serve {
 
 class Router {
  public:
-  explicit Router(ModelRegistry& registry) : registry_(registry) {}
+  /// `shutting_down` (optional, borrowed) is the owning server's shutdown
+  /// flag; see file comment. The flag must outlive the router.
+  explicit Router(ModelRegistry& registry,
+                  const std::atomic<bool>* shutting_down = nullptr)
+      : registry_(registry), shutting_down_(shutting_down) {}
 
   Router(const Router&) = delete;
   Router& operator=(const Router&) = delete;
 
-  /// Routes one sample to the named model. Resolves kModelNotFound when no
-  /// such deployment exists; otherwise behaves as that engine's submit().
+  /// Routes one sample to the named model's replica set. Resolves
+  /// kModelNotFound when no such deployment exists (kShuttingDown instead
+  /// when the bound shutdown flag is set); otherwise behaves as that set's
+  /// submit().
   [[nodiscard]] std::future<Response> submit(const std::string& model,
                                              tensor::Tensor sample,
                                              SubmitOptions options = {});
 
-  /// Estimated queue delay of the named model (admission-control estimate),
-  /// microseconds; 0 for unknown names.
+  /// Estimated queue delay a new submission to the named model would see
+  /// (minimum over its replicas), microseconds; 0 for unknown names.
   [[nodiscard]] double estimated_queue_delay_us(
       const std::string& model) const;
 
@@ -45,6 +58,7 @@ class Router {
 
  private:
   ModelRegistry& registry_;
+  const std::atomic<bool>* shutting_down_;
   std::atomic<std::uint64_t> not_found_{0};
 };
 

@@ -16,12 +16,20 @@ ModelHandle ModelServer::deploy(const std::string& name,
 }
 
 bool ModelServer::undeploy(const std::string& name) {
+  // Same lock as deploy()/shutdown(): an undeploy cannot interleave with a
+  // concurrent deploy or shutdown of the same name — it observes either the
+  // world before the other operation or the world after it, never a
+  // half-swapped entry.
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   return registry_.undeploy(name);
 }
 
 std::future<Response> ModelServer::submit(const std::string& model,
                                           tensor::Tensor sample,
                                           SubmitOptions options) {
+  // Fast path only; the router re-detects shutdown on a registry miss (the
+  // flag is stored before the registry clears), so a submit racing
+  // shutdown() still resolves kShuttingDown deterministically.
   if (shutdown_.load(std::memory_order_acquire)) {
     return ready_failure(StatusCode::kShuttingDown, "server shut down",
                          options.priority);
@@ -31,18 +39,21 @@ std::future<Response> ModelServer::submit(const std::string& model,
 
 void ModelServer::shutdown() {
   std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  // Flag first, clear second: a submit whose lookup misses because the
+  // clear won is ordered (registry mutex) after the clear, and therefore
+  // after this store — it reads the flag as true and reports kShuttingDown.
   shutdown_.store(true, std::memory_order_release);
   registry_.clear();
 }
 
 StatsSnapshot ModelServer::stats(const std::string& model) const {
-  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
-  return engine ? engine->stats().snapshot() : StatsSnapshot{};
+  const std::shared_ptr<ReplicaSet> set = registry_.find(model);
+  return set ? set->aggregated_snapshot() : StatsSnapshot{};
 }
 
 std::string ModelServer::stats_table(const std::string& model) const {
-  const std::shared_ptr<InferenceEngine> engine = registry_.find(model);
-  return engine ? engine->stats().to_table(model) : std::string{};
+  const std::shared_ptr<ReplicaSet> set = registry_.find(model);
+  return set ? set->stats_table(model) : std::string{};
 }
 
 }  // namespace mfdfp::serve

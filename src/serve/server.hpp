@@ -1,23 +1,37 @@
 // ModelServer: the serving front door.
 //
-// Composes the ModelRegistry (named, versioned deployments, each an isolated
-// InferenceEngine with its own queue and worker pool) with the Router
-// (name-based dispatch). One process hosts many models concurrently:
+// Composes the ModelRegistry (named, versioned deployments, each a
+// ReplicaSet of isolated InferenceEngines with their own queues and worker
+// pools) with the Router (name-based dispatch onto the least-loaded
+// replica). One process hosts many models concurrently, each optionally
+// sharded across replicas:
 //
 //   ModelServer server;
 //   server.deploy("cnn", {qnet}, config);            // single network
 //   server.deploy("ens", member_qnets, config);      // averaged ensemble
-//   auto future = server.submit("ens", sample,
+//   config.num_replicas = 4;                         // shard across 4 engines
+//   server.deploy("hot", {qnet}, config);
+//   auto future = server.submit("hot", sample,
 //       {.priority = Priority::kInteractive, .deadline_us = deadline});
 //   Response r = future.get();                       // r.status, r.logits
 //
 // Every submission resolves with a typed StatusCode (status.hpp): routing
-// misses are kModelNotFound, overload sheds kBatch traffic as kShedded,
-// missed deadlines are kDeadlineExceeded, and shutdown() flips the server
-// into kShuttingDown while draining every deployed engine — no promise is
-// ever abandoned. deploy() on an existing name is a hot redeploy: the new
-// version serves new traffic while in-flight requests drain against the old
-// one.
+// misses are kModelNotFound, overload sheds kBatch traffic as kShedded
+// (per-replica admission control and the set-wide batch_quota), missed
+// deadlines are kDeadlineExceeded, and shutdown() flips the server into
+// kShuttingDown while draining every replica of every deployed model — no
+// promise is ever abandoned. deploy() on an existing name is a hot
+// redeploy: the new version serves new traffic while in-flight requests
+// drain against every replica of the old one.
+//
+// Lifecycle is fully serialized: deploy(), undeploy(), and shutdown() all
+// hold lifecycle_mutex_, so none of them can interleave (an undeploy cannot
+// race a redeploy of the same name half-way, a deploy cannot publish after
+// shutdown cleared the registry). submit() stays lock-free on that mutex:
+// the registry shared_ptr pins the target set for the whole submit path,
+// and the shutdown flag — set before the registry clears, checked by the
+// router on a lookup miss — makes a submit racing shutdown resolve
+// kShuttingDown deterministically instead of a spurious kModelNotFound.
 #pragma once
 
 #include <atomic>
@@ -34,22 +48,25 @@ namespace mfdfp::serve {
 
 class ModelServer {
  public:
-  ModelServer() : router_(registry_) {}
+  ModelServer() : router_(registry_, &shutdown_) {}
   ~ModelServer() { shutdown(); }
 
   ModelServer(const ModelServer&) = delete;
   ModelServer& operator=(const ModelServer&) = delete;
 
-  /// Deploys (or hot-redeploys) a model. Throws std::invalid_argument on an
-  /// empty name/member list and std::logic_error after shutdown().
+  /// Deploys (or hot-redeploys) a model as config.num_replicas engine
+  /// replicas. Throws std::invalid_argument on an empty name/member list
+  /// and std::logic_error after shutdown().
   ModelHandle deploy(const std::string& name,
                      std::vector<hw::QNetDesc> members,
                      DeployConfig config = {});
 
-  /// Undeploys `name`, draining its in-flight requests. False if unknown.
+  /// Undeploys `name`, draining every replica's in-flight requests. False
+  /// if unknown (including after shutdown, which already undeployed all).
   bool undeploy(const std::string& name);
 
-  /// Routes one sample to the named model (see Router / InferenceEngine).
+  /// Routes one sample to the named model's least-loaded replica (see
+  /// Router / ReplicaSet / InferenceEngine).
   [[nodiscard]] std::future<Response> submit(const std::string& model,
                                              tensor::Tensor sample,
                                              SubmitOptions options = {});
@@ -63,16 +80,27 @@ class ModelServer {
   }
   [[nodiscard]] std::size_t model_count() const { return registry_.size(); }
 
-  /// Per-model stats snapshot (empty snapshot for unknown names).
+  /// Per-model stats snapshot, aggregated across the model's replicas
+  /// (empty snapshot for unknown names).
   [[nodiscard]] StatsSnapshot stats(const std::string& model) const;
-  /// Per-model stats tables, ready to print ("" for unknown names).
+  /// Per-model stats tables — aggregated, plus a per-replica breakdown for
+  /// multi-replica deployments — ready to print ("" for unknown names).
   [[nodiscard]] std::string stats_table(const std::string& model) const;
 
-  /// Direct engine access for tests/benches (stats().clear(), queue depth,
-  /// simulated costs); nullptr for unknown names.
-  [[nodiscard]] std::shared_ptr<InferenceEngine> engine(
+  /// The model's replica set, for tests/benches (per-replica engines,
+  /// quota counters, aggregated snapshots); nullptr for unknown names.
+  [[nodiscard]] std::shared_ptr<ReplicaSet> replica_set(
       const std::string& model) const {
     return registry_.find(model);
+  }
+
+  /// Direct engine access for tests/benches: the model's *first* replica
+  /// (its only one for single-replica deployments); nullptr for unknown
+  /// names. Multi-replica callers should go through replica_set().
+  [[nodiscard]] std::shared_ptr<InferenceEngine> engine(
+      const std::string& model) const {
+    const std::shared_ptr<ReplicaSet> set = registry_.find(model);
+    return set ? set->replica(0) : nullptr;
   }
 
   [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
@@ -81,11 +109,11 @@ class ModelServer {
  private:
   ModelRegistry registry_;
   Router router_;
-  /// Serializes deploy() against shutdown(): a deploy must not publish a
-  /// live engine after shutdown() cleared the registry. submit() stays
-  /// lock-free on this mutex (the atomic flag is enough there — a submit
-  /// racing shutdown lands on a draining engine, which still resolves).
+  /// Serializes deploy() / undeploy() / shutdown() against each other (see
+  /// file comment). submit() never takes it.
   std::mutex lifecycle_mutex_;
+  /// Set (before the registry clears) by shutdown(); read by submit()'s
+  /// fast path and by the router on lookup misses.
   std::atomic<bool> shutdown_{false};
 };
 

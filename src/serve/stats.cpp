@@ -1,5 +1,6 @@
 #include "serve/stats.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/table.hpp"
@@ -58,6 +59,45 @@ void ServerStats::record_batch(std::size_t batch_size, double sim_accel_us,
 
 StatsSnapshot ServerStats::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_with_window(window_.seconds());
+}
+
+StatsSnapshot ServerStats::aggregate(
+    const std::vector<const ServerStats*>& parts) {
+  // Merge every part into a scratch instance (owned exclusively, so its
+  // members can be read without its lock), one part-lock at a time.
+  ServerStats total;
+  double wall_seconds = 0.0;
+  for (const ServerStats* part : parts) {
+    if (part == nullptr) continue;
+    std::lock_guard<std::mutex> lock(part->mutex_);
+    total.e2e_us_.merge(part->e2e_us_);
+    for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+      total.e2e_us_by_class_[cls].merge(part->e2e_us_by_class_[cls]);
+      total.completed_by_class_[cls] += part->completed_by_class_[cls];
+    }
+    total.queue_wait_us_.merge(part->queue_wait_us_);
+    total.queue_depth_.merge(part->queue_depth_);
+    if (part->batch_sizes_.size() > total.batch_sizes_.size()) {
+      total.batch_sizes_.resize(part->batch_sizes_.size(), 0);
+    }
+    for (std::size_t size = 0; size < part->batch_sizes_.size(); ++size) {
+      total.batch_sizes_[size] += part->batch_sizes_[size];
+    }
+    total.completed_ += part->completed_;
+    total.timed_out_ += part->timed_out_;
+    total.rejected_ += part->rejected_;
+    total.shedded_ += part->shedded_;
+    total.batches_ += part->batches_;
+    total.batched_requests_ += part->batched_requests_;
+    total.sim_accel_busy_us_ += part->sim_accel_busy_us_;
+    total.sim_dma_bytes_ += part->sim_dma_bytes_;
+    wall_seconds = std::max(wall_seconds, part->window_.seconds());
+  }
+  return total.snapshot_with_window(wall_seconds);
+}
+
+StatsSnapshot ServerStats::snapshot_with_window(double wall_seconds) const {
   StatsSnapshot s;
   s.completed = completed_;
   s.timed_out = timed_out_;
@@ -89,7 +129,7 @@ StatsSnapshot ServerStats::snapshot() const {
   s.depth_p99 = queue_depth_.p99();
   s.depth_max = queue_depth_.max();
 
-  s.wall_seconds = window_.seconds();
+  s.wall_seconds = wall_seconds;
   const bool window_valid = s.wall_seconds >= kMinWindowSeconds;
   s.throughput_rps =
       window_valid ? static_cast<double>(completed_) / s.wall_seconds : 0.0;
@@ -102,7 +142,11 @@ StatsSnapshot ServerStats::snapshot() const {
 }
 
 std::string ServerStats::to_table(const std::string& title) const {
-  const StatsSnapshot s = snapshot();
+  return render_stats_tables(snapshot(), title);
+}
+
+std::string render_stats_tables(const StatsSnapshot& s,
+                                const std::string& title) {
   std::ostringstream out;
 
   util::TablePrinter latency(title + " — latency & throughput");

@@ -7,8 +7,11 @@
 // workers record once per batch (and per response within it), so the lock
 // is nowhere near the per-synapse hot path and sharding per worker isn't
 // worth the merge complexity at these rates. snapshot() freezes a
-// consistent view; to_table() renders the core::report-style tables the
-// benches and the serving demo print.
+// consistent view; aggregate() merges the collectors of a ReplicaSet's
+// engines into one exact cross-replica snapshot (histogram buckets add, so
+// aggregated percentiles are as accurate as per-replica ones); to_table()
+// renders the core::report-style tables the benches and the serving demo
+// print.
 #pragma once
 
 #include <array>
@@ -86,6 +89,17 @@ class ServerStats {
   /// a denormal wall time and emit inf/NaN.
   [[nodiscard]] StatsSnapshot snapshot() const;
 
+  /// Exact aggregation across independent collectors (the replicas of one
+  /// ReplicaSet): histograms merge bucket-by-bucket (so aggregated
+  /// percentiles carry the same ~1.6% error as per-replica ones, not a
+  /// percentile-of-percentiles guess), counters sum, and the observation
+  /// window is the longest of the parts (replicas of one set start
+  /// together, so their windows coincide). Each part is locked in turn;
+  /// the result is a stats-grade view, not an atomic cross-part cut.
+  /// Null entries are skipped.
+  [[nodiscard]] static StatsSnapshot aggregate(
+      const std::vector<const ServerStats*>& parts);
+
   /// Renders snapshot() as aligned tables (latency / batching / simulated
   /// hardware), ready to print.
   [[nodiscard]] std::string to_table(const std::string& title) const;
@@ -94,6 +108,11 @@ class ServerStats {
   void clear();
 
  private:
+  /// Derives a snapshot from the current members over an explicit wall
+  /// window. Callers must hold mutex_ (or own *this exclusively, as
+  /// aggregate() does with its scratch instance).
+  [[nodiscard]] StatsSnapshot snapshot_with_window(double wall_seconds) const;
+
   mutable std::mutex mutex_;
   util::Stopwatch window_;
   util::LatencyHistogram e2e_us_;
@@ -111,5 +130,11 @@ class ServerStats {
   double sim_accel_busy_us_ = 0.0;
   double sim_dma_bytes_ = 0.0;
 };
+
+/// Renders one snapshot as the aligned latency / batching / simulated
+/// hardware tables ServerStats::to_table prints — shared with ReplicaSet,
+/// whose aggregated snapshot has no ServerStats instance behind it.
+[[nodiscard]] std::string render_stats_tables(const StatsSnapshot& snapshot,
+                                              const std::string& title);
 
 }  // namespace mfdfp::serve

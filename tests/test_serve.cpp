@@ -269,6 +269,40 @@ TEST(RequestQueue, BatchCannotUseInteractiveReservedHeadroom) {
   queue.close();
 }
 
+TEST(RequestQueue, SmallCapacityKeepsMinimumInteractiveReserve) {
+  // Regression: capacity / 8 rounds to 0 below 8, which used to leave small
+  // priority-aware queues with no interactive reserve at all — a kBatch
+  // flood could occupy every slot and starve interactive traffic at the
+  // door. The reserve now has an explicit floor of one slot.
+  RequestQueue queue(4, /*priority_aware=*/true);
+  EXPECT_EQ(queue.interactive_reserve(), 1u);
+  for (RequestId id = 0; id < 3; ++id) {
+    ASSERT_TRUE(queue.push(make_request(id, 0, Priority::kBatch)));
+  }
+  EXPECT_FALSE(queue.push(make_request(99, 0, Priority::kBatch)))
+      << "batch must not take the last (reserved) slot";
+  EXPECT_TRUE(queue.push(make_request(1000, 0, Priority::kInteractive)));
+  EXPECT_EQ(queue.size(), 4u);
+  queue.close();
+
+  // Degenerate single-slot queue: reserving would leave kBatch no slot at
+  // all, so the reserve stays 0 and the lone slot is first-come.
+  RequestQueue tiny(1, /*priority_aware=*/true);
+  EXPECT_EQ(tiny.interactive_reserve(), 0u);
+  EXPECT_TRUE(tiny.push(make_request(0, 0, Priority::kBatch)));
+  EXPECT_FALSE(tiny.push(make_request(1, 0, Priority::kInteractive)));
+  tiny.close();
+
+  // FIFO mode never reserves, whatever the capacity.
+  RequestQueue fifo(4, /*priority_aware=*/false);
+  EXPECT_EQ(fifo.interactive_reserve(), 0u);
+  for (RequestId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(fifo.push(make_request(id, 0, Priority::kBatch)));
+  }
+  EXPECT_FALSE(fifo.push(make_request(99, 0, Priority::kInteractive)));
+  fifo.close();
+}
+
 TEST(RequestQueue, FifoModeIgnoresPriority) {
   RequestQueue queue(16, /*priority_aware=*/false);
   ASSERT_TRUE(queue.push(make_request(100, 0, Priority::kBatch)));
