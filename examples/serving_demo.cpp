@@ -1,19 +1,24 @@
 // Serving demo: two MF-DFP models behind one ModelServer, under mixed
-// Poisson traffic.
+// Poisson traffic, with a heterogeneous device placement.
 //
 // End-to-end: train two float networks, convert each with Algorithm 1
 // (Phase 3 ensemble), extract the per-member deployment images, and deploy
 // them twice on one serve::ModelServer — the full averaged-logit ensemble as
-// "ensemble" and its first member alone as "single" — then drive both with
-// open-loop Poisson arrivals mixing priority classes: kInteractive probes
-// with a tight SLO and kBatch bulk traffic that admission control may shed
-// under overload. Prints the per-model ServerStats tables: tail latency per
-// priority class, batch-size mix, queue depth, sheds/timeouts, and the
-// simulated accelerator busy time / DMA traffic of the served load.
+// "ensemble", placed on two differently-provisioned accelerator devices
+// (DeployConfig.placement: a 1x "npu-base" and a 2x "npu-fast", so
+// normalized-work routing sends the fast device ~2x the traffic), and its
+// first member alone as "single" — then drive both with open-loop Poisson
+// arrivals mixing priority classes: kInteractive probes with a tight SLO
+// and kBatch bulk traffic that admission control may shed under overload.
+// Prints the per-model ServerStats tables: tail latency per priority class,
+// batch-size mix, queue depth, sheds/timeouts, the simulated accelerator
+// busy time / DMA traffic of the served load, and the per-device
+// utilization rows of the heterogeneous deployment.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <future>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,7 +67,8 @@ int main() {
                                              dataset.test);
 
   // 2. Deploy both models on one server: the averaged-logit ensemble (one
-  //    simulated PU per member) and its first member as a cheaper variant.
+  //    simulated PU per member) on a heterogeneous two-device placement,
+  //    and its first member as a cheaper single-device variant.
   std::vector<hw::QNetDesc> members =
       core::extract_member_qnets(ensemble, "demo");
   serve::DeployConfig config;
@@ -74,18 +80,34 @@ int main() {
   config.workers = 4;
   config.default_deadline_us = 200'000;  // 200 ms SLO
   config.accel = hw::mfdfp_config(ensemble_config.member_count);
+  // Placement: one baseline device plus a 2x-provisioned one behind the
+  // same name. Normalized-work routing balances outstanding *time*, so
+  // whenever requests queue, "npu-fast" absorbs roughly twice the traffic
+  // of "npu-base" (an idle set ties and spreads round-robin instead).
+  serve::DeviceSpec base_device, fast_device;
+  base_device.name = "npu-base";
+  fast_device.name = "npu-fast";
+  fast_device.speed_factor = 2.0;
+  config.placement = {base_device, fast_device};
 
   serve::ModelServer server;
   serve::DeployConfig single_config = config;
   single_config.accel = hw::mfdfp_config(1);
+  single_config.placement.clear();  // one replica on the default device
   server.deploy("single", {members.front()}, single_config);
   server.deploy("ensemble", std::move(members), config);
   for (const serve::ModelHandle& handle : server.models()) {
-    const auto engine = server.engine(handle.name);
-    std::printf("deployed \"%s\" v%u: %zu member(s), %zu workers, "
-                "batch <= %zu\n",
+    const auto set = server.replica_set(handle.name);
+    std::printf("deployed \"%s\" v%u: %zu member(s), %zu device(s) "
+                "[total speed %.1fx], batch <= %zu\n",
                 handle.name.c_str(), handle.version,
-                engine->member_count(), config.workers, config.max_batch);
+                set->replica(0)->member_count(), set->replica_count(),
+                set->total_speed(), config.max_batch);
+    for (std::size_t r = 0; r < set->replica_count(); ++r) {
+      const serve::DeviceSpec& device = set->device(r);
+      std::printf("  replica %zu -> device \"%s\" (%.1fx)\n", r,
+                  device.name.c_str(), device.speed_factor);
+    }
   }
 
   // 3. Open-loop Poisson traffic over the test set: 75% kBatch bulk to the
@@ -114,22 +136,28 @@ int main() {
   }
 
   std::size_t correct = 0, served = 0, shed = 0, timed_out = 0;
+  std::map<std::string, std::size_t> served_by_device;
   for (std::size_t i = 0; i < total; ++i) {
     const serve::Response response = futures[i].get();
     if (response.status == serve::StatusCode::kShedded) ++shed;
     if (response.status == serve::StatusCode::kDeadlineExceeded) ++timed_out;
     if (!serve::ok(response.status)) continue;
     ++served;
+    ++served_by_device[response.device];
     if (response.predicted_class == dataset.test.labels[i]) ++correct;
   }
 
-  // 4. Report per model, then shut down.
+  // 4. Report per model — the "ensemble" tables include the per-device
+  //    utilization rows of its heterogeneous placement — then shut down.
   std::printf("%s\n\n", server.stats_table("ensemble").c_str());
   std::printf("%s\n\n", server.stats_table("single").c_str());
   std::printf("served %zu/%zu requests (%zu shed, %zu timed out), "
               "top-1 %.2f%%\n", served, total, shed, timed_out,
               served == 0 ? 0.0 : 100.0 * static_cast<double>(correct) /
                                       static_cast<double>(served));
+  for (const auto& [device, count] : served_by_device) {
+    std::printf("  device \"%s\" served %zu\n", device.c_str(), count);
+  }
   server.shutdown();
   return 0;
 }

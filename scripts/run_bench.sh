@@ -2,8 +2,9 @@
 # Runs the serving benches and assembles BENCH_serve.json in the repo root
 # for the perf trajectory: the git SHA, the serial-vs-batched throughput
 # numbers (serve_throughput), the multi-model priority/admission ablation
-# numbers (ablation_multimodel), and the replica-scaling numbers
-# (ablation_replicas).
+# numbers (ablation_multimodel), the replica-scaling numbers
+# (ablation_replicas), and the heterogeneous-device scaling + routing
+# numbers (ablation_hetero).
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 # Respects MFDFP_QUICK=1 for a ~4x faster run.
@@ -12,7 +13,8 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-for target in serve_throughput ablation_multimodel ablation_replicas; do
+for target in serve_throughput ablation_multimodel ablation_replicas \
+              ablation_hetero; do
   if [[ ! -x "$build_dir/$target" ]]; then
     echo "building $target in $build_dir..."
     cmake -B "$build_dir" -S "$repo_root"
@@ -26,6 +28,7 @@ trap 'rm -rf "$tmp_dir"' EXIT
 "$build_dir/serve_throughput" "$tmp_dir/serve.json"
 "$build_dir/ablation_multimodel" "$tmp_dir/multimodel.json"
 "$build_dir/ablation_replicas" "$tmp_dir/replicas.json"
+"$build_dir/ablation_hetero" "$tmp_dir/hetero.json"
 
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
@@ -39,6 +42,9 @@ git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknow
   echo "  ,"
   echo "  \"replicas\":"
   sed 's/^/  /' "$tmp_dir/replicas.json"
+  echo "  ,"
+  echo "  \"hetero\":"
+  sed 's/^/  /' "$tmp_dir/hetero.json"
   echo "}"
 } > "$repo_root/BENCH_serve.json"
 

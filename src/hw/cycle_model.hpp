@@ -72,6 +72,19 @@ struct CycleReport {
   [[nodiscard]] double microseconds(const AcceleratorConfig& config) const {
     return seconds(config) * 1e6;
   }
+
+  /// Speed-scaled variants for differently-provisioned device instances
+  /// (serve::DeviceSpec): the effective clock is clock_hz * speed_factor,
+  /// so a 2x device finishes the same cycle count in half the time.
+  /// Non-positive factors fall back to 1 (the baseline provisioning).
+  [[nodiscard]] double seconds(const AcceleratorConfig& config,
+                               double speed_factor) const {
+    return seconds(config) / (speed_factor > 0.0 ? speed_factor : 1.0);
+  }
+  [[nodiscard]] double microseconds(const AcceleratorConfig& config,
+                                    double speed_factor) const {
+    return seconds(config, speed_factor) * 1e6;
+  }
 };
 
 /// Counts cycles for one inference of the workload on `config`.

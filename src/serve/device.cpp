@@ -1,0 +1,77 @@
+#include "serve/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "hw/cycle_model.hpp"
+#include "hw/traffic_model.hpp"
+
+namespace mfdfp::serve {
+
+SimulatedAcceleratorBackend::SimulatedAcceleratorBackend(
+    std::vector<hw::QNetDesc> members, hw::AcceleratorConfig accel,
+    DeviceSpec device, std::size_t in_c, std::size_t in_h, std::size_t in_w)
+    : device_(std::move(device)), accel_(accel) {
+  if (members.empty()) {
+    throw std::invalid_argument(
+        "SimulatedAcceleratorBackend: no model members");
+  }
+  if (!device_.valid()) {
+    throw std::invalid_argument(
+        "SimulatedAcceleratorBackend: device \"" + device_.name +
+        "\" has speed_factor <= 0");
+  }
+
+  executors_.reserve(members.size());
+  for (hw::QNetDesc& desc : members) {
+    // Precompute this member's modeled per-inference cost. Ensemble members
+    // run on parallel processing units, so batch latency is the max over
+    // members while DMA is their sum.
+    const std::vector<hw::LayerWork> work =
+        hw::workload_from_qnet(desc, in_c, in_h, in_w);
+    const hw::CycleReport cycles = hw::count_cycles(work, accel_);
+    sample_us_ = std::max(
+        sample_us_, cycles.microseconds(accel_, device_.speed_factor));
+    const hw::TrafficReport traffic = hw::dma_traffic(work, accel_);
+    for (const hw::LayerTraffic& layer : traffic.layers) {
+      weight_dma_bytes_ += static_cast<double>(layer.weight_bytes);
+      act_dma_bytes_ +=
+          static_cast<double>(layer.input_bytes + layer.output_bytes);
+    }
+
+    executors_.push_back(
+        std::make_unique<hw::AcceleratorExecutor>(std::move(desc)));
+  }
+  member_ptrs_.reserve(executors_.size());
+  for (const auto& executor : executors_) {
+    member_ptrs_.push_back(executor.get());
+  }
+}
+
+BatchResult SimulatedAcceleratorBackend::execute(
+    const tensor::Tensor& stacked, hw::ExecScratch& scratch) const {
+  const std::size_t batch_size = stacked.shape().n();
+  BatchResult result;
+  result.logits = member_ptrs_.size() == 1
+                      ? member_ptrs_.front()->run_batch(stacked, scratch)
+                      : hw::run_ensemble_batch(member_ptrs_, stacked, scratch);
+  result.sim_accel_us = batch_us(batch_size);
+  result.sim_dma_bytes = batch_dma_bytes(batch_size);
+  return result;
+}
+
+double SimulatedAcceleratorBackend::batch_us(std::size_t batch_size) const {
+  // Each processing unit streams its member's samples back to back;
+  // sample_us_ already carries the device's speed_factor.
+  return static_cast<double>(batch_size) * sample_us_;
+}
+
+double SimulatedAcceleratorBackend::batch_dma_bytes(
+    std::size_t batch_size) const {
+  // Weights cross the DMA once per batch (they stay resident in the weight
+  // buffer across samples); activations stream per sample.
+  return weight_dma_bytes_ + static_cast<double>(batch_size) * act_dma_bytes_;
+}
+
+}  // namespace mfdfp::serve

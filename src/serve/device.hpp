@@ -1,0 +1,168 @@
+// DeviceSpec + ExecutionBackend: the engine <-> accelerator boundary.
+//
+// The serving stack treats the accelerator as a first-class, separately
+// provisioned artifact — the paper's codesign premise — instead of an
+// implicit per-engine default. A DeviceSpec names one device instance and
+// carries its provisioning: a `speed_factor` that scales the cycle model's
+// effective clock (a 2x device finishes every batch in half the modeled
+// time), plus optional per-device overrides of the engine's worker count,
+// batch limit, and queue capacity. DeployConfig.placement lists one
+// DeviceSpec per replica, so one model name can front differently
+// provisioned accelerators ("heterogeneous replicas"); an empty placement
+// keeps the historical homogeneous behaviour.
+//
+// ExecutionBackend is the seam the InferenceEngine submits prepared batches
+// through. The engine owns admission, queueing, batching, pacing, and
+// stats; the backend owns *what executes the batch and what it costs*:
+// execute() returns the logits plus the device-scaled simulated latency and
+// DMA bytes of the batch, and the cost accessors (sample_us / batch_us /
+// batch_dma_bytes) feed admission control, paced execution, and
+// load-normalized routing. SimulatedAcceleratorBackend — the only
+// production implementation — wraps the bit-accurate AcceleratorExecutor
+// members plus the hw::CycleModel / hw::TrafficModel accounting; tests
+// inject stub backends to exercise the engine against synthetic devices,
+// and a future shared-PU cross-model backend plugs in here without touching
+// the engine.
+//
+// Thread-safety: execute() is called concurrently from every worker thread
+// of the engine (each with its own ExecScratch); implementations must be
+// const-safe under that, like AcceleratorExecutor::run_batch is.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cost_model.hpp"
+#include "hw/executor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mfdfp::serve {
+
+/// How a ReplicaSet picks the replica for a submission.
+enum class RoutingPolicy : std::uint8_t {
+  /// Least *normalized* outstanding work: outstanding requests x per-sample
+  /// modeled cost on that replica's device (i.e. work units / device speed).
+  /// A 2x-provisioned replica reports half the delay per queued request, so
+  /// it absorbs 2x the traffic. The default.
+  kNormalizedWork = 0,
+  /// Speed-blind: least outstanding request *count*, ignoring device
+  /// provisioning. The ablation baseline — on heterogeneous placements it
+  /// queues as much behind a 1x device as behind a 4x one.
+  kOutstandingCount = 1,
+};
+
+[[nodiscard]] constexpr const char* routing_policy_name(
+    RoutingPolicy policy) noexcept {
+  return policy == RoutingPolicy::kNormalizedWork ? "normalized_work"
+                                                  : "outstanding_count";
+}
+
+/// One named, capability-carrying accelerator instance.
+struct DeviceSpec {
+  /// Display/routing identity ("npu0", "edge-a", ...). Empty = auto-named
+  /// "dev<replica_index>" at deploy time.
+  std::string name;
+
+  /// Provisioning relative to the baseline AcceleratorConfig clock: the
+  /// modeled clock is clock_hz * speed_factor, so every cycle-model latency
+  /// divides by it. Must be > 0 (deploy rejects other values).
+  double speed_factor = 1.0;
+
+  /// Per-device overrides of the engine defaults; 0 = inherit the
+  /// DeployConfig value. `workers` is still forced to 1 under
+  /// paced_execution (one pacing thread per modeled accelerator).
+  std::size_t workers = 0;
+  std::size_t max_batch = 0;
+  std::size_t queue_capacity = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return speed_factor > 0.0; }
+};
+
+/// One executed batch, as the backend reports it to the engine.
+struct BatchResult {
+  tensor::Tensor logits;       ///< {B, classes}
+  double sim_accel_us = 0.0;   ///< device-scaled modeled latency of the batch
+  double sim_dma_bytes = 0.0;  ///< modeled DMA bytes of the batch
+};
+
+/// The engine-side view of one accelerator device (see file comment).
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+
+  /// Executes one stacked batch ({B, C, H, W}, the executor's native
+  /// layout) and returns logits plus the batch's modeled cost on this
+  /// device. Called concurrently from all worker threads, each with its own
+  /// scratch.
+  [[nodiscard]] virtual BatchResult execute(const tensor::Tensor& stacked,
+                                            hw::ExecScratch& scratch) const = 0;
+
+  /// The device this backend executes on.
+  [[nodiscard]] virtual const DeviceSpec& device() const noexcept = 0;
+
+  /// Device-scaled modeled latency of one sample, microseconds. This is the
+  /// unit of normalized routing and of the engine's admission-control delay
+  /// estimate.
+  [[nodiscard]] virtual double sample_us() const noexcept = 0;
+
+  /// Device-scaled modeled latency of a batch of `batch_size` samples.
+  [[nodiscard]] virtual double batch_us(std::size_t batch_size) const = 0;
+
+  /// Modeled DMA bytes of a batch (weights once, activations per sample).
+  [[nodiscard]] virtual double batch_dma_bytes(std::size_t batch_size) const = 0;
+
+  /// Model members executing on this device (>= 1; > 1 = ensemble).
+  [[nodiscard]] virtual std::size_t member_count() const noexcept = 0;
+};
+
+/// Production backend: the paper's simulated accelerator. Owns the
+/// bit-accurate executor members (one simulated processing unit each,
+/// logits averaged for ensembles) and prices every batch on hw::CycleModel
+/// (latency, scaled by the device's speed_factor — ensemble latency is the
+/// max over members, batch latency is sequential samples) and
+/// hw::TrafficModel (DMA bytes: weights fetched once per batch, activations
+/// per sample; *not* speed-scaled — speed provisions compute, and the
+/// paper's DMA is double-buffered behind it).
+class SimulatedAcceleratorBackend final : public ExecutionBackend {
+ public:
+  /// `members` must be non-empty and share the {in_c, in_h, in_w} input
+  /// geometry. Throws std::invalid_argument on an empty member list or an
+  /// invalid device (speed_factor <= 0).
+  SimulatedAcceleratorBackend(std::vector<hw::QNetDesc> members,
+                              hw::AcceleratorConfig accel, DeviceSpec device,
+                              std::size_t in_c, std::size_t in_h,
+                              std::size_t in_w);
+
+  [[nodiscard]] BatchResult execute(const tensor::Tensor& stacked,
+                                    hw::ExecScratch& scratch) const override;
+  [[nodiscard]] const DeviceSpec& device() const noexcept override {
+    return device_;
+  }
+  [[nodiscard]] double sample_us() const noexcept override {
+    return sample_us_;
+  }
+  [[nodiscard]] double batch_us(std::size_t batch_size) const override;
+  [[nodiscard]] double batch_dma_bytes(std::size_t batch_size) const override;
+  [[nodiscard]] std::size_t member_count() const noexcept override {
+    return executors_.size();
+  }
+
+  [[nodiscard]] const hw::AcceleratorConfig& accel() const noexcept {
+    return accel_;
+  }
+
+ private:
+  DeviceSpec device_;
+  hw::AcceleratorConfig accel_;
+  std::vector<std::unique_ptr<hw::AcceleratorExecutor>> executors_;
+  std::vector<const hw::AcceleratorExecutor*> member_ptrs_;
+
+  // Per-sample modeled costs, precomputed from the members' workloads.
+  double sample_us_ = 0.0;         ///< max over members, / speed_factor
+  double weight_dma_bytes_ = 0.0;  ///< sum over members, once per batch
+  double act_dma_bytes_ = 0.0;     ///< sum over members, per sample
+};
+
+}  // namespace mfdfp::serve

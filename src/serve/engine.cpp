@@ -1,14 +1,11 @@
 #include "serve/engine.hpp"
 
-#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
-#include "hw/cycle_model.hpp"
-#include "hw/traffic_model.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mfdfp::serve {
@@ -16,46 +13,72 @@ namespace mfdfp::serve {
 using tensor::Shape;
 using tensor::Tensor;
 
-InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
-                                 DeployConfig config)
-    : config_(std::move(config)),
-      queue_(config_.queue_capacity, config_.priority_scheduling),
-      batcher_(queue_,
-               BatcherConfig{config_.max_batch, config_.max_wait_us}) {
-  if (members.empty()) {
-    throw std::invalid_argument("InferenceEngine: no model members");
+namespace {
+
+/// For backend-injection deployments the backend's own DeviceSpec is the
+/// source of truth — copy it over config.device so resolve_config applies
+/// that device's scheduling overrides. Null backends pass through and fail
+/// in the constructor body.
+DeployConfig adopt_backend_device(DeployConfig config,
+                                  const ExecutionBackend* backend) {
+  if (backend != nullptr) config.device = backend->device();
+  return config;
+}
+
+}  // namespace
+
+DeployConfig InferenceEngine::resolve_config(DeployConfig config) {
+  DeviceSpec& device = config.device;
+  if (!device.valid()) {
+    throw std::invalid_argument("InferenceEngine: device \"" + device.name +
+                                "\" has speed_factor <= 0");
   }
-  if (config_.workers == 0) config_.workers = 1;
+  if (device.name.empty()) {
+    device.name = "dev" + std::to_string(config.replica_index);
+  }
+  // Nonzero device fields override the engine defaults (per-device
+  // provisioning: a fatter device may run more drain threads and admit
+  // bigger batches).
+  if (device.workers != 0) config.workers = device.workers;
+  if (device.max_batch != 0) config.max_batch = device.max_batch;
+  if (device.queue_capacity != 0) {
+    config.queue_capacity = device.queue_capacity;
+  }
+  if (config.workers == 0) config.workers = 1;
   // One pacing thread per modeled accelerator: concurrent pacing workers
   // would each sleep out the same cycle-model budget and overstate paced
   // throughput by the worker count (see DeployConfig::paced_execution).
-  if (config_.paced_execution) config_.workers = 1;
+  if (config.paced_execution) config.workers = 1;
+  return config;
+}
 
-  executors_.reserve(members.size());
-  for (hw::QNetDesc& desc : members) {
-    // Precompute this member's simulated per-inference cost. Ensemble
-    // members run on parallel processing units, so batch latency is the max
-    // over members while DMA is their sum.
-    const std::vector<hw::LayerWork> work = hw::workload_from_qnet(
-        desc, config_.in_c, config_.in_h, config_.in_w);
-    const hw::CycleReport cycles = hw::count_cycles(work, config_.accel);
-    sample_accel_us_ =
-        std::max(sample_accel_us_, cycles.microseconds(config_.accel));
-    const hw::TrafficReport traffic = hw::dma_traffic(work, config_.accel);
-    for (const hw::LayerTraffic& layer : traffic.layers) {
-      weight_dma_bytes_ += static_cast<double>(layer.weight_bytes);
-      act_dma_bytes_ +=
-          static_cast<double>(layer.input_bytes + layer.output_bytes);
-    }
+InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
+                                 DeployConfig config)
+    : config_(resolve_config(std::move(config))),
+      backend_(std::make_shared<SimulatedAcceleratorBackend>(
+          std::move(members), config_.accel, config_.device, config_.in_c,
+          config_.in_h, config_.in_w)),
+      queue_(config_.queue_capacity, config_.priority_scheduling),
+      batcher_(queue_,
+               BatcherConfig{config_.max_batch, config_.max_wait_us}) {
+  workers_.start(config_.workers,
+                 [this](std::size_t index) { worker_main(index); });
+}
 
-    executors_.push_back(
-        std::make_unique<hw::AcceleratorExecutor>(std::move(desc)));
+InferenceEngine::InferenceEngine(
+    std::shared_ptr<const ExecutionBackend> backend, DeployConfig config)
+    : config_(resolve_config(
+          adopt_backend_device(std::move(config), backend.get()))),
+      backend_(std::move(backend)),
+      queue_(config_.queue_capacity, config_.priority_scheduling),
+      batcher_(queue_,
+               BatcherConfig{config_.max_batch, config_.max_wait_us}) {
+  if (!backend_) {
+    throw std::invalid_argument("InferenceEngine: null execution backend");
   }
-  member_ptrs_.reserve(executors_.size());
-  for (const auto& executor : executors_) {
-    member_ptrs_.push_back(executor.get());
+  if (backend_->member_count() == 0) {
+    throw std::invalid_argument("InferenceEngine: backend has no members");
   }
-
   workers_.start(config_.workers,
                  [this](std::size_t index) { worker_main(index); });
 }
@@ -112,7 +135,7 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
   const std::size_t depth = queue_.size();
 
   // Admission control: refuse kBatch work whose estimated queue delay
-  // (outstanding requests x per-sample simulated accelerator cost) already
+  // (outstanding requests x the device's per-sample modeled cost) already
   // blows the deadline budget. Interactive traffic is never shed, and
   // deadline-less batch traffic has an infinite budget.
   if (config_.admission_control && request.priority == Priority::kBatch &&
@@ -152,19 +175,6 @@ void InferenceEngine::stop() {
   workers_.join();
 }
 
-double InferenceEngine::simulated_batch_us(std::size_t batch_size) const {
-  // Each processing unit streams its member's samples back to back.
-  return static_cast<double>(batch_size) * sample_accel_us_;
-}
-
-double InferenceEngine::simulated_batch_dma_bytes(
-    std::size_t batch_size) const {
-  // Weights cross the DMA once per batch (they stay resident in the weight
-  // buffer across samples); activations stream per sample.
-  return weight_dma_bytes_ +
-         static_cast<double>(batch_size) * act_dma_bytes_;
-}
-
 void InferenceEngine::worker_main(std::size_t /*worker_index*/) {
   hw::ExecScratch scratch;
   std::vector<Request> batch, expired;
@@ -193,17 +203,16 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
                 batch[i].input.data().data(), sample_size * sizeof(float));
   }
 
-  Tensor logits =
-      member_ptrs_.size() == 1
-          ? member_ptrs_.front()->run_batch(stacked, scratch)
-          : hw::run_ensemble_batch(member_ptrs_, stacked, scratch);
-
-  const double sim_us = simulated_batch_us(batch_size);
-  const double sim_dma = simulated_batch_dma_bytes(batch_size);
+  // The backend owns execution and costing: logits plus the device-scaled
+  // modeled latency / DMA of this batch.
+  BatchResult result = backend_->execute(stacked, scratch);
+  const Tensor& logits = result.logits;
+  const double sim_us = result.sim_accel_us;
+  const double sim_dma = result.sim_dma_bytes;
   if (config_.paced_execution) {
-    // Hold the batch until the simulated accelerator would have finished it,
-    // so wall-clock behaviour (throughput, tails, replica scaling) tracks
-    // the cycle model instead of the host CPU.
+    // Hold the batch until this device would have finished it, so
+    // wall-clock behaviour (throughput, tails, replica scaling) tracks the
+    // device-scaled cycle model instead of the host CPU.
     const std::int64_t target_us =
         formed_us + static_cast<std::int64_t>(sim_us);
     const std::int64_t now = util::Stopwatch::now_us();
@@ -226,6 +235,7 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
     response.model = config_.model_name;
     response.model_version = config_.model_version;
     response.replica = config_.replica_index;
+    response.device = config_.device.name;
     response.priority = batch[i].priority;
     response.queue_wait_us = formed_us - batch[i].enqueue_us;
     response.service_us = done_us - formed_us;

@@ -1,27 +1,34 @@
 // InferenceEngine: the per-model serving unit behind ModelServer.
 //
-// Owns one deployed model — a single QNetDesc or an ensemble of members
+// Owns the *scheduling* half of one deployed replica — the queue -> dynamic
+// batcher -> worker pool pipeline that drains client requests — and submits
+// every prepared batch to an ExecutionBackend (serve/device.hpp), which
+// owns the *execution* half: the accelerator device the replica was placed
+// on, what runs the batch, and what it costs. The production backend is
+// SimulatedAcceleratorBackend — a single QNetDesc or an ensemble of members
 // (one simulated processing unit each, logits averaged as in paper Section
-// 4.3) — plus the queue -> dynamic batcher -> worker pool pipeline that
-// drains client requests through the batched executor fast path. Each
-// executed batch is costed on the paper's hardware models: latency from
-// hw::CycleModel (ensemble = max over members, batch = sequential samples)
-// and DMA bytes from hw::TrafficModel (weights fetched once per batch —
-// the traffic win of batching — activations per sample).
+// 4.3), costed on the paper's hardware models: latency from hw::CycleModel
+// scaled by the device's speed_factor (ensemble = max over members, batch =
+// sequential samples) and DMA bytes from hw::TrafficModel (weights fetched
+// once per batch — the traffic win of batching — activations per sample).
+// Tests inject stub backends through the backend constructor to exercise
+// the engine against synthetic devices.
 //
 // Scheduling: the queue drains strict priority (kInteractive before kBatch)
 // when `priority_scheduling` is on, and `admission_control` sheds kBatch
 // requests at submit time when the estimated queue delay (outstanding
-// requests — queued plus executing — x per-sample simulated accelerator
-// cost) already exceeds the request's deadline budget — an overloaded
-// engine fails cheap traffic fast instead
-// of queueing work it cannot finish in time. Requests whose deadline has
-// already passed at submit fail immediately with kDeadlineExceeded (counted
-// as timed_out) instead of occupying a queue slot until batch formation.
+// requests — queued plus executing — x the *device's own* per-sample
+// modeled cost) already exceeds the request's deadline budget — an
+// overloaded engine fails cheap traffic fast instead of queueing work it
+// cannot finish in time, and a 2x-provisioned device admits 2x deeper
+// backlogs for the same budget. Requests whose deadline has already passed
+// at submit fail immediately with kDeadlineExceeded (counted as timed_out)
+// instead of occupying a queue slot until batch formation.
 //
 // Clients normally reach an engine through ModelServer (server.hpp), which
 // owns the name -> engine registry; the engine itself is name-agnostic
-// beyond stamping responses with the model name/version it was deployed as.
+// beyond stamping responses with the model name/version/device it was
+// deployed as.
 //
 // Thread-safety: submit() may be called from any number of client threads;
 // stop() is idempotent and drains the queue before returning, so no promise
@@ -38,6 +45,7 @@
 #include "hw/cost_model.hpp"
 #include "hw/executor.hpp"
 #include "serve/batcher.hpp"
+#include "serve/device.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/stats.hpp"
 #include "serve/worker_pool.hpp"
@@ -65,9 +73,22 @@ struct DeployConfig {
 
   /// Engine replicas behind one name (see serve/replica_set.hpp). Each
   /// replica is a full InferenceEngine — own queue, worker pool, and
-  /// simulated accelerator instance — and the ReplicaSet routes each
-  /// submission to the least-loaded one.
+  /// accelerator device — and the ReplicaSet routes each submission per
+  /// `routing`. Ignored when `placement` is non-empty (one replica per
+  /// listed device).
   std::size_t num_replicas = 1;
+
+  /// Per-replica device placement. Empty (the default) = homogeneous:
+  /// num_replicas replicas, each on a copy of `device`. Non-empty = one
+  /// replica per entry, so {.speed_factor = 1}, {.speed_factor = 2} deploys
+  /// two differently-provisioned accelerators behind one name. Deploy
+  /// throws std::invalid_argument on any entry with speed_factor <= 0.
+  std::vector<DeviceSpec> placement;
+
+  /// How the ReplicaSet picks a replica: least normalized outstanding work
+  /// (the default — a 2x device absorbs 2x traffic) or speed-blind least
+  /// outstanding count (the ablation baseline; see serve/device.hpp).
+  RoutingPolicy routing = RoutingPolicy::kNormalizedWork;
 
   /// QoS quota: max outstanding kBatch requests across the *whole* replica
   /// set; excess kBatch submissions resolve kShedded at the router. 0 =
@@ -75,31 +96,48 @@ struct DeployConfig {
   std::size_t batch_quota = 0;
 
   /// When true, a worker holds each executed batch until the simulated
-  /// accelerator would have finished it (batch formation + cycle-model
-  /// latency), so wall-clock throughput and tails reproduce the modeled
-  /// hardware's real-time behaviour instead of the host CPU's. Logits are
-  /// unaffected. The engine forces `workers` to 1 in this mode — the
-  /// engine models exactly one accelerator, and N pacing threads would
-  /// drain N accelerators' worth of work; scale capacity with
-  /// `num_replicas` instead. This is what lets bench/ablation_replicas
-  /// measure replica scaling on any host core count.
+  /// accelerator would have finished it (batch formation + device-scaled
+  /// cycle-model latency), so wall-clock throughput and tails reproduce the
+  /// modeled hardware's real-time behaviour instead of the host CPU's —
+  /// including provisioning: a speed_factor 2 device paces twice as fast.
+  /// Logits are unaffected. The engine forces `workers` to 1 in this mode —
+  /// the engine models exactly one accelerator, and N pacing threads would
+  /// drain N accelerators' worth of work; scale capacity with `placement` /
+  /// `num_replicas` instead. This is what lets bench/ablation_replicas and
+  /// bench/ablation_hetero measure scaling on any host core count.
   bool paced_execution = false;
 
   /// Identity stamped into responses; the registry fills these on deploy
-  /// and the ReplicaSet fills replica_index.
+  /// and the ReplicaSet fills replica_index and device.
   std::string model_name;
   std::uint32_t model_version = 0;
   std::uint32_t replica_index = 0;
 
-  /// Accelerator instance used for the simulated-latency/DMA accounting.
+  /// The device this engine executes on (per-replica; the ReplicaSet copies
+  /// placement[replica_index] here). Its nonzero workers / max_batch /
+  /// queue_capacity override the engine defaults above, and its
+  /// speed_factor scales every modeled latency. An empty name auto-fills
+  /// "dev<replica_index>".
+  DeviceSpec device{};
+
+  /// Baseline accelerator instance used for the simulated-latency/DMA
+  /// accounting; `device.speed_factor` scales its effective clock.
   hw::AcceleratorConfig accel{};
 };
 
 class InferenceEngine {
  public:
-  /// Deploys `members` (>= 1; > 1 = averaged-logit ensemble) and starts the
-  /// worker pool. All members must share the input geometry in `config`.
+  /// Deploys `members` (>= 1; > 1 = averaged-logit ensemble) on a
+  /// SimulatedAcceleratorBackend built from config.accel + config.device,
+  /// and starts the worker pool. All members must share the input geometry
+  /// in `config`.
   InferenceEngine(std::vector<hw::QNetDesc> members, DeployConfig config);
+
+  /// Deploys onto an explicit backend (the API seam: tests inject stubs,
+  /// future cross-model backends share one device between engines). Throws
+  /// std::invalid_argument on a null backend.
+  InferenceEngine(std::shared_ptr<const ExecutionBackend> backend,
+                  DeployConfig config);
 
   /// Stops and joins the workers (drains pending requests first).
   ~InferenceEngine();
@@ -127,9 +165,20 @@ class InferenceEngine {
     return config_;
   }
 
+  /// The device this engine executes on (resolved: auto-name filled in,
+  /// overrides applied). This is the authoritative identity — for injected
+  /// backends whose DeviceSpec arrived unnamed, the backend keeps its raw
+  /// spec while this (and every Response.device / stats row) carries the
+  /// auto-filled "dev<replica_index>" name.
+  [[nodiscard]] const DeviceSpec& device() const noexcept {
+    return config_.device;
+  }
+  [[nodiscard]] const ExecutionBackend& backend() const noexcept {
+    return *backend_;
+  }
+
   /// Requests accepted but not yet resolved: queued plus in execution.
-  /// This is what load-aware replica routing balances on — queue depth
-  /// alone goes blind while a worker holds a popped batch.
+  /// queue depth alone goes blind while a worker holds a popped batch.
   [[nodiscard]] std::size_t outstanding(Priority priority) const noexcept {
     return outstanding_[static_cast<std::size_t>(priority)].load(
         std::memory_order_relaxed);
@@ -142,48 +191,57 @@ class InferenceEngine {
     return total;
   }
 
-  /// Outstanding requests x per-sample simulated accelerator cost: the work,
-  /// in modeled microseconds, this engine has committed to but not finished.
+  /// Outstanding requests x the device's per-sample modeled cost: the work,
+  /// in modeled microseconds, this engine has committed to but not
+  /// finished. Because sample_us() already divides by the device's
+  /// speed_factor, this *is* the normalized load replica routing balances
+  /// on — a 2x device reports half the delay for the same backlog.
   [[nodiscard]] double outstanding_work_us() const noexcept {
-    return static_cast<double>(outstanding_total()) * sample_accel_us_;
+    return static_cast<double>(outstanding_total()) * backend_->sample_us();
   }
   [[nodiscard]] std::size_t member_count() const noexcept {
-    return executors_.size();
+    return backend_->member_count();
   }
 
-  /// Simulated accelerator latency of one sample, microseconds (max over
-  /// ensemble members — one processing unit each).
+  /// Modeled latency of one sample on this engine's device, microseconds
+  /// (max over ensemble members — one processing unit each — divided by the
+  /// device's speed_factor).
   [[nodiscard]] double simulated_sample_us() const noexcept {
-    return sample_accel_us_;
+    return backend_->sample_us();
   }
 
-  /// Simulated accelerator latency of one batch of `batch_size` samples,
-  /// microseconds (cycle model; exposed for tests/benches).
-  [[nodiscard]] double simulated_batch_us(std::size_t batch_size) const;
+  /// Modeled latency of one batch of `batch_size` samples on this engine's
+  /// device, microseconds (exposed for tests/benches).
+  [[nodiscard]] double simulated_batch_us(std::size_t batch_size) const {
+    return backend_->batch_us(batch_size);
+  }
 
-  /// Simulated DMA bytes of one batch (weights once, activations per
-  /// sample).
+  /// Modeled DMA bytes of one batch (weights once, activations per sample).
   [[nodiscard]] double simulated_batch_dma_bytes(
-      std::size_t batch_size) const;
+      std::size_t batch_size) const {
+    return backend_->batch_dma_bytes(batch_size);
+  }
 
   /// Admission-control estimate: outstanding work (queued + executing) in
-  /// modeled microseconds.
+  /// modeled microseconds on this device.
   [[nodiscard]] double estimated_queue_delay_us() const {
     return outstanding_work_us();
   }
 
  private:
+  /// Applies device overrides (workers/max_batch/queue_capacity, auto-name,
+  /// paced single-worker rule) onto the raw config. Shared by both ctors so
+  /// queue_/batcher_ see the resolved values.
+  [[nodiscard]] static DeployConfig resolve_config(DeployConfig config);
+
   void worker_main(std::size_t worker_index);
   void execute_batch(std::vector<Request>& batch, hw::ExecScratch& scratch);
 
   DeployConfig config_;
-  std::vector<std::unique_ptr<hw::AcceleratorExecutor>> executors_;
-  std::vector<const hw::AcceleratorExecutor*> member_ptrs_;
-
-  // Per-sample simulated costs, precomputed from the members' workloads.
-  double sample_accel_us_ = 0.0;     ///< max over members (one PU each)
-  double weight_dma_bytes_ = 0.0;    ///< sum over members, once per batch
-  double act_dma_bytes_ = 0.0;       ///< sum over members, per sample
+  /// Shared, not unique: a drained engine's stats/device stay readable
+  /// through ReplicaSet snapshots after undeploy, and future shared-PU
+  /// backends serve several engines at once.
+  std::shared_ptr<const ExecutionBackend> backend_;
 
   RequestQueue queue_;
   DynamicBatcher batcher_;

@@ -1,8 +1,9 @@
 // ModelRegistry: named, versioned catalogue of deployed models.
 //
-// Each deploy(name, members, config) builds a fresh ReplicaSet —
-// config.num_replicas isolated InferenceEngines (each its own queue +
-// worker pool), so models and their replicas all run concurrently — and
+// Each deploy(name, members, config) builds a fresh ReplicaSet — one
+// isolated InferenceEngine per config.placement device (or
+// config.num_replicas homogeneous ones), each with its own queue + worker
+// pool, so models and their replicas all run concurrently — and
 // publishes it under `name`; deploying an existing name is a hot redeploy:
 // the new set is built and swapped in while the old one keeps serving, then
 // *every replica* of the old set is drained (each in-flight request

@@ -11,11 +11,34 @@ namespace mfdfp::serve {
 ReplicaSet::ReplicaSet(std::vector<hw::QNetDesc> members,
                        DeployConfig config)
     : config_(std::move(config)) {
+  // Placement wins over num_replicas: one replica per listed device.
+  // Validate every entry before building anything — a half-constructed set
+  // whose later device is invalid would have started worker pools already.
+  if (!config_.placement.empty()) {
+    config_.num_replicas = config_.placement.size();
+    for (std::size_t index = 0; index < config_.placement.size(); ++index) {
+      if (!config_.placement[index].valid()) {
+        throw std::invalid_argument(
+            "ReplicaSet: placement[" + std::to_string(index) +
+            "] has speed_factor <= 0");
+      }
+    }
+  } else if (!config_.device.valid()) {
+    throw std::invalid_argument(
+        "ReplicaSet: config.device has speed_factor <= 0");
+  }
   if (config_.num_replicas == 0) config_.num_replicas = 1;
+
   replicas_.reserve(config_.num_replicas);
   for (std::size_t index = 0; index < config_.num_replicas; ++index) {
     DeployConfig replica_config = config_;
     replica_config.replica_index = static_cast<std::uint32_t>(index);
+    if (!config_.placement.empty()) {
+      replica_config.device = config_.placement[index];
+    }
+    // Each engine holds only its own device; the set-level list stays in
+    // config_.placement.
+    replica_config.placement.clear();
     // The last replica can move the members; the others copy.
     std::vector<hw::QNetDesc> replica_members =
         index + 1 == config_.num_replicas ? std::move(members) : members;
@@ -25,17 +48,25 @@ ReplicaSet::ReplicaSet(std::vector<hw::QNetDesc> members,
 }
 
 std::size_t ReplicaSet::pick_replica() {
-  // Least outstanding work, in modeled microseconds. All replicas of one
-  // set share a per-sample cost today, but the comparison stays in work
-  // units so heterogeneous replicas (e.g. differently-provisioned
-  // accelerators) would route correctly. The tied minimum is collected in
-  // the same pass that finds it: loads shift under concurrent submits, and
-  // re-reading them for the tie-break could leave it with no candidates.
+  // Least-loaded replica under the configured policy. kNormalizedWork
+  // compares outstanding work in modeled microseconds on each replica's own
+  // device — per-sample cost already divides by the device's speed_factor,
+  // so a 2x replica reports half the delay for the same backlog and
+  // naturally absorbs 2x the traffic. kOutstandingCount compares raw
+  // request counts (speed-blind; the ablation baseline). The tied minimum
+  // is collected in the same pass that finds it: loads shift under
+  // concurrent submits, and re-reading them for the tie-break could leave
+  // it with no candidates.
+  const bool normalized =
+      config_.routing == RoutingPolicy::kNormalizedWork;
   double best = std::numeric_limits<double>::infinity();
   std::vector<std::size_t> tied;
   tied.reserve(replicas_.size());
   for (std::size_t index = 0; index < replicas_.size(); ++index) {
-    const double load = replicas_[index]->outstanding_work_us();
+    const double load =
+        normalized
+            ? replicas_[index]->outstanding_work_us()
+            : static_cast<double>(replicas_[index]->outstanding_total());
     if (load < best) {
       best = load;
       tied.assign(1, index);
@@ -76,6 +107,14 @@ void ReplicaSet::stop() {
   for (const auto& replica : replicas_) replica->stop();
 }
 
+double ReplicaSet::total_speed() const noexcept {
+  double total = 0.0;
+  for (const auto& replica : replicas_) {
+    total += replica->device().speed_factor;
+  }
+  return total;
+}
+
 std::size_t ReplicaSet::outstanding_batch() const noexcept {
   std::size_t total = 0;
   for (const auto& replica : replicas_) {
@@ -102,7 +141,27 @@ StatsSnapshot ReplicaSet::aggregated_snapshot() const {
   std::vector<const ServerStats*> parts;
   parts.reserve(replicas_.size());
   for (const auto& replica : replicas_) parts.push_back(&replica->stats());
-  return ServerStats::aggregate(parts);
+  // Per-part totals come out of the same locked pass as the merge, so the
+  // device rows always sum to the aggregate's counters — and no replica is
+  // snapshotted (percentiles and all) a second time just for four scalars.
+  std::vector<ServerStats::PartTotals> totals;
+  StatsSnapshot total = ServerStats::aggregate(parts, &totals);
+
+  // Attach one utilization row per replica device — only the set knows
+  // which DeviceSpec each replica executes on.
+  total.devices.reserve(replicas_.size());
+  for (std::size_t index = 0; index < replicas_.size(); ++index) {
+    DeviceUtilizationRow row;
+    row.device = replicas_[index]->device().name;
+    row.speed_factor = replicas_[index]->device().speed_factor;
+    row.replica = static_cast<std::uint32_t>(index);
+    row.completed = totals[index].completed;
+    row.sim_accel_busy_us = totals[index].sim_accel_busy_us;
+    row.sim_accel_utilization = totals[index].sim_accel_utilization;
+    row.throughput_rps = totals[index].throughput_rps;
+    total.devices.push_back(std::move(row));
+  }
+  return total;
 }
 
 std::vector<StatsSnapshot> ReplicaSet::replica_snapshots() const {
@@ -119,12 +178,16 @@ std::string ReplicaSet::stats_table(const std::string& title) const {
   if (replicas_.size() < 2) return out;
 
   util::TablePrinter per_replica(title + " — per replica");
-  per_replica.set_header({"replica", "completed", "timed out", "shedded",
-                          "e2e p50 (us)", "e2e p99 (us)", "sim busy (us)"});
+  per_replica.set_header({"replica", "device", "speed", "completed",
+                          "timed out", "shedded", "e2e p50 (us)",
+                          "e2e p99 (us)", "sim busy (us)"});
   const std::vector<StatsSnapshot> snapshots = replica_snapshots();
   for (std::size_t index = 0; index < snapshots.size(); ++index) {
     const StatsSnapshot& s = snapshots[index];
-    per_replica.add_row({std::to_string(index), std::to_string(s.completed),
+    const DeviceSpec& device = replicas_[index]->device();
+    per_replica.add_row({std::to_string(index), device.name,
+                         util::fmt_fixed(device.speed_factor, 2) + "x",
+                         std::to_string(s.completed),
                          std::to_string(s.timed_out),
                          std::to_string(s.shedded),
                          std::to_string(s.e2e_p50_us),

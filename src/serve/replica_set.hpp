@@ -1,25 +1,38 @@
-// ReplicaSet: one model name sharded across N InferenceEngine replicas.
+// ReplicaSet: one model name sharded across N InferenceEngine replicas,
+// each placed on its own (possibly differently-provisioned) accelerator
+// device.
 //
 // The registry maps each deployed name to one ReplicaSet rather than one
 // engine. Every replica is a full InferenceEngine — its own queue, worker
-// pool, and simulated accelerator instance — built from the same members
-// and DeployConfig, so the set models N copies of the paper's accelerator
-// serving one model. A single-replica set (num_replicas = 1, the default)
-// behaves exactly like the pre-replica registry.
+// pool, and accelerator device — built from the same members and
+// DeployConfig. Placement comes from DeployConfig.placement: one DeviceSpec
+// per replica (name, speed_factor scaling the cycle model, per-device
+// worker/batch/queue overrides), so one name can front a heterogeneous mix
+// like {1x, 1x, 4x}. An empty placement keeps the historical homogeneous
+// behaviour: num_replicas copies of config.device. A single-replica set
+// (the default) behaves exactly like the pre-replica registry.
 //
-// Routing is load-aware: each submission goes to the replica with the least
-// outstanding work (accepted-but-unresolved requests x per-sample simulated
-// accelerator cost — queued *and* executing, so a replica whose worker holds
-// a popped batch is not mistaken for idle). Ties — the common case on an
-// idle set, where every load is zero — fall back to round-robin so traffic
-// spreads instead of piling onto replica 0.
+// Routing is load-aware per DeployConfig.routing. The default,
+// kNormalizedWork, sends each submission to the replica with the least
+// *normalized* outstanding work: accepted-but-unresolved requests x that
+// device's per-sample modeled cost — which already divides by the device's
+// speed_factor, so a 2x-provisioned replica reports half the delay for the
+// same backlog and absorbs 2x the traffic. (Queued *and* executing work
+// counts, so a replica whose worker holds a popped batch is not mistaken
+// for idle.) kOutstandingCount is the speed-blind ablation baseline: least
+// raw request count, which on heterogeneous placements queues as much
+// behind a 1x device as behind a 4x one — bench/ablation_hetero shows what
+// that costs in interactive p99. Ties — the common case on an idle set —
+// fall back to round-robin so traffic spreads instead of piling onto
+// replica 0.
 //
 // QoS quota: DeployConfig.batch_quota caps outstanding kBatch requests
 // across the *whole* set. Quota-refused submissions resolve kShedded before
 // touching any replica queue, and the shed is recorded on the replica that
 // would have received the request so aggregated stats count it. Interactive
 // traffic is never quota-limited. Per-replica admission control (deadline
-// budget vs estimated delay) still applies underneath.
+// budget vs estimated delay on that replica's device) still applies
+// underneath.
 //
 // stop() drains every replica — each queue closes and its in-flight work
 // resolves — before returning, which is what hot-redeploy/undeploy/shutdown
@@ -38,9 +51,11 @@ namespace mfdfp::serve {
 
 class ReplicaSet {
  public:
-  /// Builds config.num_replicas engines (>= 1; each gets a copy of
-  /// `members` and the config with its replica_index stamped) and starts
-  /// all their worker pools.
+  /// Builds one engine per placement entry (or config.num_replicas engines
+  /// on config.device when the placement is empty; >= 1 either way). Each
+  /// engine gets a copy of `members`, the config with its replica_index and
+  /// DeviceSpec stamped, and its own worker pool, started here. Throws
+  /// std::invalid_argument when any placement entry has speed_factor <= 0.
   ReplicaSet(std::vector<hw::QNetDesc> members, DeployConfig config);
 
   ~ReplicaSet() { stop(); }
@@ -48,7 +63,7 @@ class ReplicaSet {
   ReplicaSet(const ReplicaSet&) = delete;
   ReplicaSet& operator=(const ReplicaSet&) = delete;
 
-  /// Routes one sample to the least-loaded replica (see file comment).
+  /// Routes one sample per the configured RoutingPolicy (see file comment).
   /// Enforces the set-wide kBatch quota before dispatch.
   [[nodiscard]] std::future<Response> submit(tensor::Tensor sample,
                                              SubmitOptions options = {});
@@ -67,6 +82,17 @@ class ReplicaSet {
     return config_;
   }
 
+  /// The device replica `index` executes on (resolved: auto-names filled).
+  [[nodiscard]] const DeviceSpec& device(std::size_t index) const {
+    return replicas_[index]->device();
+  }
+
+  /// Sum of the replicas' speed factors — the set's aggregate provisioning
+  /// in units of one baseline device ({1x, 2x} -> 3.0). Paced aggregate
+  /// throughput should approach total_speed() x one 1x replica's rate,
+  /// which is what bench/ablation_hetero enforces.
+  [[nodiscard]] double total_speed() const noexcept;
+
   /// Outstanding kBatch requests across the whole set (the quantity the
   /// batch_quota caps).
   [[nodiscard]] std::size_t outstanding_batch() const noexcept;
@@ -75,7 +101,8 @@ class ReplicaSet {
   [[nodiscard]] std::size_t queue_depth() const;
 
   /// Delay a new submission would see: the *minimum* estimated queue delay
-  /// over replicas, since routing sends it to the least-loaded one.
+  /// over replicas (each priced on its own device), since routing sends it
+  /// to the least-loaded one.
   [[nodiscard]] double estimated_queue_delay_us() const;
 
   /// kBatch submissions refused by the set-wide quota (also counted as
@@ -85,18 +112,21 @@ class ReplicaSet {
   }
 
   /// Exact cross-replica aggregation of every replica's ServerStats
-  /// (histograms merge bucket-by-bucket; see ServerStats::aggregate).
+  /// (histograms merge bucket-by-bucket; see ServerStats::aggregate), with
+  /// one DeviceUtilizationRow per replica attached (StatsSnapshot.devices).
   [[nodiscard]] StatsSnapshot aggregated_snapshot() const;
 
   /// One snapshot per replica, in replica-index order.
   [[nodiscard]] std::vector<StatsSnapshot> replica_snapshots() const;
 
-  /// The aggregated ServerStats tables plus a per-replica breakdown table
-  /// (one row per replica), ready to print.
+  /// The aggregated ServerStats tables — including the per-device
+  /// utilization table — plus a per-replica breakdown table (one row per
+  /// replica, with its device and speed), ready to print.
   [[nodiscard]] std::string stats_table(const std::string& title) const;
 
  private:
-  /// Index of the replica with the least outstanding work; ties round-robin.
+  /// Index of the replica routing picks (policy-dependent load metric);
+  /// ties round-robin.
   [[nodiscard]] std::size_t pick_replica();
 
   DeployConfig config_;

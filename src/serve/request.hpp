@@ -55,6 +55,9 @@ struct Response {
   /// Index of the replica that executed the request within its ReplicaSet
   /// (0 for single-replica deployments; meaningful only when status == kOk).
   std::uint32_t replica = 0;
+  /// Name of the accelerator device that executed the request (the
+  /// replica's DeviceSpec; empty on pre-dispatch failures).
+  std::string device;
   Priority priority = Priority::kInteractive;
 
   // Wall-clock accounting (microseconds, host monotonic clock).

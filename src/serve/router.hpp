@@ -2,9 +2,11 @@
 //
 // The router resolves the model name against the ModelRegistry and forwards
 // the sample with its SubmitOptions to that model's ReplicaSet, which picks
-// the least-loaded replica (engine) and applies the set-wide QoS quota; the
-// chosen engine then applies the per-replica scheduling policies (strict
-// priority drain, admission control, deadline handling). Unknown names
+// the least-loaded replica per the deployment's RoutingPolicy (normalized
+// outstanding work by default, so differently-provisioned devices absorb
+// proportional traffic) and applies the set-wide QoS quota; the chosen
+// engine then applies the per-replica scheduling policies (strict priority
+// drain, admission control priced on its own device, deadline handling). Unknown names
 // resolve immediately with kModelNotFound — and the router counts them,
 // since no per-model ServerStats exists to attribute the miss to.
 //

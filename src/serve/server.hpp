@@ -11,6 +11,9 @@
 //   server.deploy("ens", member_qnets, config);      // averaged ensemble
 //   config.num_replicas = 4;                         // shard across 4 engines
 //   server.deploy("hot", {qnet}, config);
+//   config.placement = {{.name = "npu0"},            // heterogeneous devices
+//                       {.name = "npu1", .speed_factor = 2.0}};
+//   server.deploy("het", {qnet}, config);            // 1x + 2x behind one name
 //   auto future = server.submit("hot", sample,
 //       {.priority = Priority::kInteractive, .deadline_us = deadline});
 //   Response r = future.get();                       // r.status, r.logits

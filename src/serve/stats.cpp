@@ -63,14 +63,31 @@ StatsSnapshot ServerStats::snapshot() const {
 }
 
 StatsSnapshot ServerStats::aggregate(
-    const std::vector<const ServerStats*>& parts) {
+    const std::vector<const ServerStats*>& parts,
+    std::vector<PartTotals>* per_part) {
   // Merge every part into a scratch instance (owned exclusively, so its
   // members can be read without its lock), one part-lock at a time.
   ServerStats total;
   double wall_seconds = 0.0;
-  for (const ServerStats* part : parts) {
+  if (per_part != nullptr) {
+    per_part->assign(parts.size(), PartTotals{});
+  }
+  for (std::size_t index = 0; index < parts.size(); ++index) {
+    const ServerStats* part = parts[index];
     if (part == nullptr) continue;
     std::lock_guard<std::mutex> lock(part->mutex_);
+    if (per_part != nullptr) {
+      PartTotals& row = (*per_part)[index];
+      row.completed = part->completed_;
+      row.sim_accel_busy_us = part->sim_accel_busy_us_;
+      row.wall_seconds = part->window_.seconds();
+      if (row.wall_seconds >= kMinWindowSeconds) {
+        row.throughput_rps =
+            static_cast<double>(row.completed) / row.wall_seconds;
+        row.sim_accel_utilization =
+            row.sim_accel_busy_us / (row.wall_seconds * 1e6);
+      }
+    }
     total.e2e_us_.merge(part->e2e_us_);
     for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
       total.e2e_us_by_class_[cls].merge(part->e2e_us_by_class_[cls]);
@@ -194,6 +211,21 @@ std::string render_stats_tables(const StatsSnapshot& s,
   hardware.add_row(
       {"DMA traffic (MB)", util::fmt_fixed(s.sim_dma_bytes / 1e6, 3)});
   out << hardware.to_string();
+
+  if (!s.devices.empty()) {
+    util::TablePrinter devices(title + " — devices");
+    devices.set_header({"device", "replica", "speed", "completed",
+                        "req/s", "busy (us)", "util (%)"});
+    for (const DeviceUtilizationRow& row : s.devices) {
+      devices.add_row({row.device, std::to_string(row.replica),
+                       util::fmt_fixed(row.speed_factor, 2) + "x",
+                       std::to_string(row.completed),
+                       util::fmt_fixed(row.throughput_rps, 1),
+                       util::fmt_fixed(row.sim_accel_busy_us, 1),
+                       util::fmt_percent(row.sim_accel_utilization, 2)});
+    }
+    out << "\n" << devices.to_string();
+  }
   return out.str();
 }
 

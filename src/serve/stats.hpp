@@ -26,6 +26,20 @@
 
 namespace mfdfp::serve {
 
+/// Per-device utilization of one replica set: one row per replica's
+/// accelerator device. ServerStats itself is device-agnostic (it counts one
+/// engine's traffic); ReplicaSet::aggregated_snapshot attaches these rows
+/// because only the set knows which DeviceSpec each replica executes on.
+struct DeviceUtilizationRow {
+  std::string device;            ///< DeviceSpec name ("dev0", "npu-fast", ...)
+  double speed_factor = 1.0;     ///< provisioning relative to the baseline
+  std::uint32_t replica = 0;     ///< replica index within the set
+  std::uint64_t completed = 0;   ///< requests this device served
+  double sim_accel_busy_us = 0.0;       ///< device-scaled modeled busy time
+  double sim_accel_utilization = 0.0;   ///< busy / wall, [0, 1]
+  double throughput_rps = 0.0;          ///< completed / wall window
+};
+
 struct StatsSnapshot {
   // Request outcomes (see status.hpp for the code -> counter mapping).
   std::uint64_t completed = 0;
@@ -62,6 +76,11 @@ struct StatsSnapshot {
   double sim_dma_bytes = 0.0;
   /// Fraction of the wall window the simulated accelerator was busy.
   double sim_accel_utilization = 0.0;
+
+  /// Per-device rows (filled by ReplicaSet::aggregated_snapshot; empty on
+  /// plain engine snapshots). render_stats_tables prints them as a
+  /// "devices" table when present.
+  std::vector<DeviceUtilizationRow> devices;
 };
 
 class ServerStats {
@@ -89,6 +108,17 @@ class ServerStats {
   /// a denormal wall time and emit inf/NaN.
   [[nodiscard]] StatsSnapshot snapshot() const;
 
+  /// Scalar totals of one collector, captured under its lock during
+  /// aggregate() — what a per-device utilization row needs, without a
+  /// second lock round or a redundant percentile extraction per part.
+  struct PartTotals {
+    std::uint64_t completed = 0;
+    double sim_accel_busy_us = 0.0;
+    double wall_seconds = 0.0;
+    double throughput_rps = 0.0;         ///< 0 for degenerate windows
+    double sim_accel_utilization = 0.0;  ///< 0 for degenerate windows
+  };
+
   /// Exact aggregation across independent collectors (the replicas of one
   /// ReplicaSet): histograms merge bucket-by-bucket (so aggregated
   /// percentiles carry the same ~1.6% error as per-replica ones, not a
@@ -96,9 +126,13 @@ class ServerStats {
   /// window is the longest of the parts (replicas of one set start
   /// together, so their windows coincide). Each part is locked in turn;
   /// the result is a stats-grade view, not an atomic cross-part cut.
-  /// Null entries are skipped.
+  /// Null entries are skipped. When `per_part` is non-null it is filled
+  /// with one PartTotals per input entry (index-aligned with `parts`;
+  /// zeroed rows for null entries), read in the *same* locked pass as the
+  /// merge — so per-part rows always sum to the aggregate's totals.
   [[nodiscard]] static StatsSnapshot aggregate(
-      const std::vector<const ServerStats*>& parts);
+      const std::vector<const ServerStats*>& parts,
+      std::vector<PartTotals>* per_part = nullptr);
 
   /// Renders snapshot() as aligned tables (latency / batching / simulated
   /// hardware), ready to print.

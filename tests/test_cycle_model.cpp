@@ -117,5 +117,24 @@ TEST(CycleModel, MoreSynapsesFewerCycles) {
             count_cycles(work, narrow).total_cycles);
 }
 
+TEST(CycleModel, SpeedFactorScalesEffectiveClock) {
+  // Device provisioning (serve::DeviceSpec.speed_factor) scales the
+  // effective clock, not the cycle count: a 2x device runs the same cycles
+  // in half the time, and non-positive factors fall back to the baseline.
+  const std::vector<LayerWork> work{
+      {"conv", LayerWork::Kind::kConv, 100, 32, 160}};
+  const AcceleratorConfig config = mfdfp_config(1);
+  const CycleReport report = count_cycles(work, config);
+  EXPECT_DOUBLE_EQ(report.microseconds(config, 1.0),
+                   report.microseconds(config));
+  EXPECT_DOUBLE_EQ(report.microseconds(config, 2.0),
+                   report.microseconds(config) / 2.0);
+  EXPECT_DOUBLE_EQ(report.seconds(config, 0.5), report.seconds(config) * 2.0);
+  EXPECT_DOUBLE_EQ(report.microseconds(config, 0.0),
+                   report.microseconds(config));
+  EXPECT_DOUBLE_EQ(report.microseconds(config, -3.0),
+                   report.microseconds(config));
+}
+
 }  // namespace
 }  // namespace mfdfp::hw

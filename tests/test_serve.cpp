@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <future>
 #include <thread>
 #include <vector>
@@ -544,8 +545,116 @@ TEST(InferenceEngine, ManyConcurrentClients) {
 }
 
 TEST(InferenceEngine, ThrowsOnEmptyModelList) {
-  EXPECT_THROW(InferenceEngine({}, small_deploy_config()),
+  EXPECT_THROW(InferenceEngine(std::vector<hw::QNetDesc>{},
+                               small_deploy_config()),
                std::invalid_argument);
+}
+
+TEST(InferenceEngine, CapacityOneQueueStillServesBatchTraffic) {
+  // Regression for the capacity-1 edge of the interactive reserve: with the
+  // 1/8-of-capacity reserve floored at one slot, a naive floor would claim
+  // the *only* slot of a capacity-1 queue for kInteractive and silently
+  // reject every kBatch submission with kQueueFull. The intended behavior
+  // (documented on RequestQueue::interactive_reserve) is that capacities
+  // below 2 reserve nothing — the lone slot is first-come for either class.
+  // This exercises it end to end through the engine, not just the queue.
+  const hw::QNetDesc qnet = make_test_qnet(61, false);
+  DeployConfig config = small_deploy_config();
+  config.queue_capacity = 1;
+  config.max_batch = 1;
+  config.workers = 1;
+  InferenceEngine engine({qnet}, config);
+  EXPECT_EQ(engine.config().queue_capacity, 1u);
+
+  util::Rng rng{62};
+  SubmitOptions batch_options;
+  batch_options.priority = Priority::kBatch;
+  batch_options.deadline_us = 0;
+  std::vector<std::future<Response>> futures;
+  // Sequential closed loop: each kBatch request must be admitted (the queue
+  // drains between submissions), never rejected by a phantom reserve.
+  for (int i = 0; i < 8; ++i) {
+    Tensor image{Shape{1, 3, 16, 16}};
+    image.fill_uniform(rng, -1.0f, 1.0f);
+    const Response response =
+        engine.submit(std::move(image), batch_options).get();
+    EXPECT_TRUE(ok(response.status))
+        << "kBatch starved on a capacity-1 queue: " << response.detail;
+  }
+  engine.stop();
+  EXPECT_EQ(engine.stats().snapshot().completed, 8u);
+}
+
+// ---- stats aggregation edge cases ------------------------------------------
+
+TEST(ServerStatsAggregate, EmptyPartListYieldsZeroSnapshotWithoutNans) {
+  const StatsSnapshot empty = ServerStats::aggregate({});
+  EXPECT_EQ(empty.completed, 0u);
+  EXPECT_EQ(empty.batches, 0u);
+  EXPECT_EQ(empty.e2e_p99_us, 0);
+  // Degenerate windows must report zero rates, not divide by ~0.
+  EXPECT_EQ(empty.throughput_rps, 0.0);
+  EXPECT_EQ(empty.sim_accel_utilization, 0.0);
+  EXPECT_EQ(empty.mean_batch_size, 0.0);
+  EXPECT_TRUE(empty.devices.empty());
+}
+
+TEST(ServerStatsAggregate, ZeroWindowPartsReportZeroRates) {
+  // Freshly-constructed collectors have a near-zero observation window; the
+  // aggregate must hit the same min-window guard snapshot() has and report
+  // finite zero rates instead of inf/NaN.
+  ServerStats a, b;
+  const StatsSnapshot merged = ServerStats::aggregate({&a, &b});
+  EXPECT_EQ(merged.completed, 0u);
+  EXPECT_TRUE(std::isfinite(merged.throughput_rps));
+  EXPECT_TRUE(std::isfinite(merged.sim_accel_utilization));
+}
+
+TEST(ServerStatsAggregate, SkipsNullPartsAndMergesMixedDevices) {
+  // Two collectors shaped like differently-provisioned devices: different
+  // batch-size mixes (histogram vectors of different lengths) and
+  // different per-batch modeled costs. The merge must be exact — counters
+  // sum, histograms add bucket-by-bucket — and null entries must be
+  // skipped, not dereferenced.
+  ServerStats slow, fast;
+  slow.record_batch(2, 800.0, 64.0);
+  slow.record_response(900, 100, Priority::kInteractive);
+  slow.record_response(1100, 150, Priority::kInteractive);
+  fast.record_batch(8, 800.0, 256.0);  // 4x device: bigger batch, same time
+  for (int i = 0; i < 8; ++i) {
+    fast.record_response(250, 50, Priority::kBatch);
+  }
+
+  std::vector<ServerStats::PartTotals> totals;
+  const StatsSnapshot merged =
+      ServerStats::aggregate({&slow, nullptr, &fast, nullptr}, &totals);
+  // Per-part totals are read in the same locked pass as the merge:
+  // index-aligned with the inputs, zeroed for null entries, summing to the
+  // aggregate.
+  ASSERT_EQ(totals.size(), 4u);
+  EXPECT_EQ(totals[0].completed, 2u);
+  EXPECT_EQ(totals[1].completed, 0u);
+  EXPECT_EQ(totals[2].completed, 8u);
+  EXPECT_DOUBLE_EQ(totals[0].sim_accel_busy_us, 800.0);
+  EXPECT_DOUBLE_EQ(totals[1].sim_accel_busy_us, 0.0);
+  EXPECT_EQ(totals[0].completed + totals[2].completed, merged.completed);
+  EXPECT_EQ(merged.completed, 10u);
+  EXPECT_EQ(merged.batches, 2u);
+  EXPECT_DOUBLE_EQ(merged.mean_batch_size, 5.0);
+  EXPECT_DOUBLE_EQ(merged.sim_accel_busy_us, 1600.0);
+  EXPECT_DOUBLE_EQ(merged.sim_dma_bytes, 320.0);
+  ASSERT_GE(merged.batch_size_histogram.size(), 9u);
+  EXPECT_EQ(merged.batch_size_histogram[2], 1u);
+  EXPECT_EQ(merged.batch_size_histogram[8], 1u);
+  EXPECT_EQ(merged.completed_by_class[static_cast<std::size_t>(
+                Priority::kInteractive)],
+            2u);
+  EXPECT_EQ(
+      merged.completed_by_class[static_cast<std::size_t>(Priority::kBatch)],
+      8u);
+  // The merged e2e histogram spans both devices' latency ranges.
+  EXPECT_LE(merged.e2e_p50_us, 300);
+  EXPECT_GE(merged.e2e_max_us, 1100);
 }
 
 }  // namespace
