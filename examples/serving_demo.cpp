@@ -1,19 +1,22 @@
-// Serving demo: two MF-DFP models behind one ModelServer, under mixed
-// Poisson traffic, with a heterogeneous device placement.
+// Serving demo: three MF-DFP models behind one ModelServer, under mixed
+// Poisson traffic, with heterogeneous and shared device placements.
 //
 // End-to-end: train two float networks, convert each with Algorithm 1
 // (Phase 3 ensemble), extract the per-member deployment images, and deploy
-// them twice on one serve::ModelServer — the full averaged-logit ensemble as
+// them on one serve::ModelServer — the full averaged-logit ensemble as
 // "ensemble", placed on two differently-provisioned accelerator devices
 // (DeployConfig.placement: a 1x "npu-base" and a 2x "npu-fast", so
 // normalized-work routing sends the fast device ~2x the traffic), and its
-// first member alone as "single" — then drive both with open-loop Poisson
-// arrivals mixing priority classes: kInteractive probes with a tight SLO
-// and kBatch bulk traffic that admission control may shed under overload.
-// Prints the per-model ServerStats tables: tail latency per priority class,
-// batch-size mix, queue depth, sheds/timeouts, the simulated accelerator
-// busy time / DMA traffic of the served load, and the per-device
-// utilization rows of the heterogeneous deployment.
+// first member twice, as "single" and "canary", both *tenants of one
+// shared PU* ("edge-pu", serve::SharedDevice: cross-model co-batching,
+// weight-reload pricing, central pacing off for demo speed) — then drive
+// everything with open-loop Poisson arrivals mixing priority classes:
+// kInteractive probes with a tight SLO and kBatch bulk traffic that
+// admission control may shed under overload. Prints the per-model
+// ServerStats tables (tail latency per priority class, batch-size mix,
+// queue depth, sheds/timeouts, simulated accelerator busy time / DMA,
+// per-device utilization rows) and the shared PU's cross-model tenant
+// table.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +31,7 @@
 #include "hw/cost_model.hpp"
 #include "nn/zoo.hpp"
 #include "serve/server.hpp"
+#include "serve/shared_device.hpp"
 #include "util/logging.hpp"
 #include "util/stopwatch.hpp"
 
@@ -91,10 +95,19 @@ int main() {
   config.placement = {base_device, fast_device};
 
   serve::ModelServer server;
+  // "single" and "canary" are two deployments of the same member network,
+  // co-located as tenants of one shared PU: they contend for — and
+  // co-batch on — the same device's cycles (unpaced for demo speed).
+  serve::DeviceSpec edge_spec;
+  edge_spec.name = "edge-pu";
+  serve::SharedDeviceConfig edge_config;
+  edge_config.paced = false;
+  auto edge_pu = serve::SharedDevice::create(edge_spec, edge_config);
   serve::DeployConfig single_config = config;
   single_config.accel = hw::mfdfp_config(1);
-  single_config.placement.clear();  // one replica on the default device
+  single_config.placement = {serve::DeviceSpec::on(edge_pu)};
   server.deploy("single", {members.front()}, single_config);
+  server.deploy("canary", {members.front()}, single_config);
   server.deploy("ensemble", std::move(members), config);
   for (const serve::ModelHandle& handle : server.models()) {
     const auto set = server.replica_set(handle.name);
@@ -117,7 +130,12 @@ int main() {
   std::printf("replaying %zu test images as Poisson arrivals at %.0f req/s "
               "(mixed models + priorities)...\n\n", total, kArrivalRps);
   util::Rng arrivals{11};
-  std::vector<std::future<serve::Response>> futures;
+  // Mirrored probes go to the shared-PU pair; the predicate is shared by
+  // the submit and gather loops so primary_class[] and shadows[] stay
+  // index-aligned. Every mirrored index is interactive (8 is a multiple
+  // of the 1-in-4 interactive cadence below).
+  const auto is_mirrored = [](std::size_t i) { return i % 8 == 0; };
+  std::vector<std::future<serve::Response>> futures, shadows;
   futures.reserve(total);
   for (std::size_t i = 0; i < total; ++i) {
     const double gap_s = -std::log(1.0 - arrivals.uniform()) / kArrivalRps;
@@ -126,19 +144,33 @@ int main() {
     serve::SubmitOptions options;
     options.priority = i % 4 == 0 ? serve::Priority::kInteractive
                                   : serve::Priority::kBatch;
-    const std::string model =
-        options.priority == serve::Priority::kInteractive && i % 8 == 0
-            ? "single"
-            : "ensemble";
+    // Every 8th interactive probe goes to the shared-PU "single" model,
+    // with the same sample mirrored to "canary" — a canary deployment
+    // shadowing live traffic. The two sub-batches land on "edge-pu"
+    // together, so the device's coalesce window co-batches the pair into
+    // one cross-model pass (visible as "co-batched passes" below).
+    const bool edge = is_mirrored(i);
+    const std::string model = edge ? "single" : "ensemble";
     futures.push_back(server.submit(
         model, tensor::slice_outer(dataset.test.images, i, i + 1),
         options));
+    if (edge) {
+      shadows.push_back(server.submit(
+          "canary", tensor::slice_outer(dataset.test.images, i, i + 1),
+          options));
+    }
   }
 
   std::size_t correct = 0, served = 0, shed = 0, timed_out = 0;
+  std::size_t shadow_agree = 0;
+  std::vector<int> primary_class;  // "single"'s prediction per mirrored probe
   std::map<std::string, std::size_t> served_by_device;
   for (std::size_t i = 0; i < total; ++i) {
     const serve::Response response = futures[i].get();
+    if (is_mirrored(i)) {
+      primary_class.push_back(
+          serve::ok(response.status) ? response.predicted_class : -2);
+    }
     if (response.status == serve::StatusCode::kShedded) ++shed;
     if (response.status == serve::StatusCode::kDeadlineExceeded) ++timed_out;
     if (!serve::ok(response.status)) continue;
@@ -146,15 +178,31 @@ int main() {
     ++served_by_device[response.device];
     if (response.predicted_class == dataset.test.labels[i]) ++correct;
   }
+  // The canary verifies outputs, not just liveness: over probe pairs where
+  // *both* sides were served, predictions must match (same member network,
+  // bit-accurate execution — disagreement means a broken rollout). Pairs
+  // with a shed/expired side verify nothing and are reported separately.
+  std::size_t shadow_pairs = 0;
+  for (std::size_t s = 0; s < shadows.size(); ++s) {
+    const serve::Response response = shadows[s].get();
+    if (!serve::ok(response.status) || primary_class[s] == -2) continue;
+    ++shadow_pairs;
+    if (response.predicted_class == primary_class[s]) ++shadow_agree;
+  }
 
   // 4. Report per model — the "ensemble" tables include the per-device
-  //    utilization rows of its heterogeneous placement — then shut down.
+  //    utilization rows of its heterogeneous placement, and the shared PU
+  //    prints its own cross-model tenant table — then shut down.
   std::printf("%s\n\n", server.stats_table("ensemble").c_str());
   std::printf("%s\n\n", server.stats_table("single").c_str());
+  std::printf("%s\n\n", edge_pu->stats_table("demo").c_str());
   std::printf("served %zu/%zu requests (%zu shed, %zu timed out), "
-              "top-1 %.2f%%\n", served, total, shed, timed_out,
+              "top-1 %.2f%%; canary agreed on %zu/%zu served probe pairs "
+              "(%zu unserved)\n",
+              served, total, shed, timed_out,
               served == 0 ? 0.0 : 100.0 * static_cast<double>(correct) /
-                                      static_cast<double>(served));
+                                      static_cast<double>(served),
+              shadow_agree, shadow_pairs, shadows.size() - shadow_pairs);
   for (const auto& [device, count] : served_by_device) {
     std::printf("  device \"%s\" served %zu\n", device.c_str(), count);
   }

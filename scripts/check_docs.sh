@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Link-checks the documentation tree and enforces bench coverage:
+#  - every relative markdown link in docs/*.md and README.md must resolve
+#    to an existing file or directory (external http(s)/mailto links are
+#    skipped, markdown link titles are stripped);
+#  - every #anchor into a markdown file (including in-page anchors) must
+#    match a heading of the target file under GitHub's slug rules
+#    (lowercase, punctuation dropped, spaces -> hyphens);
+#  - every bench/ablation_*.cpp binary must be mentioned in
+#    docs/benchmarks.md, so a new ablation cannot land undocumented.
+# CI runs this as the `docs` job; run it locally before touching docs/.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+fail=0
+
+# Does markdown file $1 contain a heading whose GitHub slug is $2?
+has_anchor() {
+  grep -E '^#{1,6} ' "$1" |
+    sed -E 's/^#{1,6} +//' |
+    tr '[:upper:]' '[:lower:]' |
+    sed -E 's/[^a-z0-9 _-]//g; s/ /-/g' |
+    grep -qx "$2"
+}
+
+check_links() {
+  local doc="$1"
+  local dir
+  dir="$(dirname "$doc")"
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:*) continue ;;
+    esac
+    local path="${target%%#*}"   # file part ("" for in-page anchors)
+    path="${path%% *}"           # strip markdown link title
+    local file="$dir/$path"
+    [[ -z "$path" ]] && file="$doc"
+    if [[ ! -e "$file" ]]; then
+      echo "BROKEN LINK: $doc -> $target"
+      fail=1
+      continue
+    fi
+    if [[ "$target" == *'#'* && "$file" == *.md ]]; then
+      local anchor="${target#*#}"
+      if [[ -n "$anchor" ]] && ! has_anchor "$file" "$anchor"; then
+        echo "BROKEN ANCHOR: $doc -> $target (no matching heading)"
+        fail=1
+      fi
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+}
+
+shopt -s nullglob
+docs=("$repo_root"/docs/*.md "$repo_root/README.md")
+if [[ "${#docs[@]}" -lt 2 ]]; then
+  echo "MISSING: docs/*.md"
+  fail=1
+fi
+for doc in "${docs[@]}"; do
+  [[ -f "$doc" ]] && check_links "$doc"
+done
+
+benchdoc="$repo_root/docs/benchmarks.md"
+if [[ ! -f "$benchdoc" ]]; then
+  echo "MISSING: docs/benchmarks.md"
+  fail=1
+else
+  for bench in "$repo_root"/bench/ablation_*.cpp; do
+    name="$(basename "$bench" .cpp)"
+    if ! grep -q "$name" "$benchdoc"; then
+      echo "UNDOCUMENTED BENCH: $name is not mentioned in docs/benchmarks.md"
+      fail=1
+    fi
+  done
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "docs check FAILED"
+  exit 1
+fi
+echo "docs check OK"

@@ -3,8 +3,10 @@
 # for the perf trajectory: the git SHA, the serial-vs-batched throughput
 # numbers (serve_throughput), the multi-model priority/admission ablation
 # numbers (ablation_multimodel), the replica-scaling numbers
-# (ablation_replicas), and the heterogeneous-device scaling + routing
-# numbers (ablation_hetero).
+# (ablation_replicas), the heterogeneous-device scaling + routing numbers
+# (ablation_hetero), and the shared-PU cross-model batching numbers
+# (ablation_shared_pu). See docs/benchmarks.md for every bench's enforced
+# thresholds.
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 # Respects MFDFP_QUICK=1 for a ~4x faster run.
@@ -14,7 +16,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 for target in serve_throughput ablation_multimodel ablation_replicas \
-              ablation_hetero; do
+              ablation_hetero ablation_shared_pu; do
   if [[ ! -x "$build_dir/$target" ]]; then
     echo "building $target in $build_dir..."
     cmake -B "$build_dir" -S "$repo_root"
@@ -29,6 +31,7 @@ trap 'rm -rf "$tmp_dir"' EXIT
 "$build_dir/ablation_multimodel" "$tmp_dir/multimodel.json"
 "$build_dir/ablation_replicas" "$tmp_dir/replicas.json"
 "$build_dir/ablation_hetero" "$tmp_dir/hetero.json"
+"$build_dir/ablation_shared_pu" "$tmp_dir/shared_pu.json"
 
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 {
@@ -45,6 +48,9 @@ git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknow
   echo "  ,"
   echo "  \"hetero\":"
   sed 's/^/  /' "$tmp_dir/hetero.json"
+  echo "  ,"
+  echo "  \"shared_pu\":"
+  sed 's/^/  /' "$tmp_dir/shared_pu.json"
   echo "}"
 } > "$repo_root/BENCH_serve.json"
 

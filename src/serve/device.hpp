@@ -24,12 +24,28 @@
 // and a future shared-PU cross-model backend plugs in here without touching
 // the engine.
 //
-// Thread-safety: execute() is called concurrently from every worker thread
-// of the engine (each with its own ExecScratch); implementations must be
-// const-safe under that, like AcceleratorExecutor::run_batch is.
+// Thread-safety contract (binding on every implementation):
+//   - execute() is called concurrently from every worker thread of every
+//     engine deployed on the backend (each caller with its own ExecScratch);
+//     implementations must be const-safe under that, like
+//     AcceleratorExecutor::run_batch is. execute() may block (a shared
+//     device serializes tenants' passes), but must eventually return for
+//     every call — the engine's drain-on-stop guarantee depends on it.
+//   - The cost accessors (sample_us / batch_us / batch_dma_bytes) and
+//     cross_tenant_backlog_us() are called concurrently with execute() from
+//     submit paths (admission control) and from the ReplicaSet router; they
+//     must be safe without external locking.
+//
+// Lifetime contract: engines hold the backend by shared_ptr<const ...>, so
+// a backend outlives every engine deployed on it and stays readable (stats,
+// costs) after the last engine drains. A backend must not retain pointers
+// into an execute() caller's arguments beyond the call. DeviceSpec::shared
+// (when set) keeps the underlying SharedDevice alive for as long as any
+// config, engine, or backend still references the placement entry.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +55,8 @@
 #include "tensor/tensor.hpp"
 
 namespace mfdfp::serve {
+
+class SharedDevice;  // serve/shared_device.hpp: one PU shared by N engines
 
 /// How a ReplicaSet picks the replica for a submission.
 enum class RoutingPolicy : std::uint8_t {
@@ -77,7 +95,29 @@ struct DeviceSpec {
   std::size_t max_batch = 0;
   std::size_t queue_capacity = 0;
 
-  [[nodiscard]] bool valid() const noexcept { return speed_factor > 0.0; }
+  /// Non-null = this placement entry names a *shared* physical PU
+  /// (serve/shared_device.hpp) instead of provisioning a private one:
+  /// every deployment whose placement carries the same handle attaches a
+  /// tenant backend to that one device, contending for — and co-batching
+  /// on — its cycles. `name` and `speed_factor` above are ignored in favour
+  /// of the shared device's own spec; the scheduling overrides (workers /
+  /// max_batch / queue_capacity) still apply to the tenant engine. The
+  /// shared_ptr keeps the device alive as long as any config or engine
+  /// references it.
+  std::shared_ptr<SharedDevice> shared;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return shared != nullptr || speed_factor > 0.0;
+  }
+
+  /// Placement entry for a shared PU: `DeviceSpec::on(pu)` in a
+  /// DeployConfig.placement co-locates this deployment with every other
+  /// deployment placed on `pu`.
+  [[nodiscard]] static DeviceSpec on(std::shared_ptr<SharedDevice> device) {
+    DeviceSpec spec;
+    spec.shared = std::move(device);
+    return spec;
+  }
 };
 
 /// One executed batch, as the backend reports it to the engine.
@@ -115,6 +155,38 @@ class ExecutionBackend {
 
   /// Model members executing on this device (>= 1; > 1 = ensemble).
   [[nodiscard]] virtual std::size_t member_count() const noexcept = 0;
+
+  /// True when the backend itself paces execution to the device's modeled
+  /// rate — execute() only returns once the device would have finished the
+  /// batch, as SharedDeviceBackend does. The engine must then not add its
+  /// own paced_execution sleep on top (it would double-pace every batch).
+  /// Dedicated backends return false: the engine worker paces.
+  [[nodiscard]] virtual bool paces_execution() const noexcept {
+    return false;
+  }
+
+  /// Modeled microseconds of work *other* engines have committed to this
+  /// backend's device but not finished — the cross-tenant backlog of a
+  /// shared PU. The engine adds this to its own outstanding work when
+  /// estimating queue delay, so admission control and normalized-work
+  /// routing price the device's true aggregate load, not just one tenant's
+  /// slice. Dedicated (single-engine) backends return 0.
+  [[nodiscard]] virtual double cross_tenant_backlog_us() const noexcept {
+    return 0.0;
+  }
+
+  /// Binds (or, with null, unbinds) this engine's outstanding-work
+  /// provider for backends that aggregate load across engines. A shared
+  /// device calls the provider — from any thread, under its own lock — to
+  /// price this tenant's committed work (queued + executing) into the
+  /// other tenants' cross_tenant_backlog_us(); see
+  /// SharedDevice::bind_tenant_load for the full provider contract,
+  /// including the rule that a weak_ptr-locking provider must be unbound
+  /// *before* the last engine reference can drop (ReplicaSet::stop does
+  /// this). Default: no-op — a dedicated backend serves one engine whose
+  /// own counters already tell the whole story.
+  virtual void bind_load_provider(
+      std::function<double()> /*outstanding_us*/) const {}
 };
 
 /// Production backend: the paper's simulated accelerator. Owns the

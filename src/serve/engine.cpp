@@ -135,12 +135,13 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
   const std::size_t depth = queue_.size();
 
   // Admission control: refuse kBatch work whose estimated queue delay
-  // (outstanding requests x the device's per-sample modeled cost) already
-  // blows the deadline budget. Interactive traffic is never shed, and
-  // deadline-less batch traffic has an infinite budget.
+  // (outstanding requests x the device's per-sample modeled cost, plus any
+  // cross-tenant backlog on a shared device) already blows the deadline
+  // budget. Interactive traffic is never shed, and deadline-less batch
+  // traffic has an infinite budget.
   if (config_.admission_control && request.priority == Priority::kBatch &&
       request.deadline_us != 0) {
-    const double est_delay_us = outstanding_work_us();
+    const double est_delay_us = estimated_queue_delay_us();
     const double budget_us =
         static_cast<double>(request.deadline_us - request.enqueue_us);
     if (est_delay_us > budget_us) {
@@ -209,7 +210,7 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
   const Tensor& logits = result.logits;
   const double sim_us = result.sim_accel_us;
   const double sim_dma = result.sim_dma_bytes;
-  if (config_.paced_execution) {
+  if (config_.paced_execution && !backend_->paces_execution()) {
     // Hold the batch until this device would have finished it, so
     // wall-clock behaviour (throughput, tails, replica scaling) tracks the
     // device-scaled cycle model instead of the host CPU.

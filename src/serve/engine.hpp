@@ -105,6 +105,10 @@ struct DeployConfig {
   /// drain N accelerators' worth of work; scale capacity with `placement` /
   /// `num_replicas` instead. This is what lets bench/ablation_replicas and
   /// bench/ablation_hetero measure scaling on any host core count.
+  /// Backends that pace centrally (a SharedDevice holds each pass until
+  /// its modeled completion; backend->paces_execution() is true) make the
+  /// engine skip its own sleep either way — leave this off for shared
+  /// placements and configure SharedDeviceConfig.paced instead.
   bool paced_execution = false;
 
   /// Identity stamped into responses; the registry fills these on deploy
@@ -194,8 +198,10 @@ class InferenceEngine {
   /// Outstanding requests x the device's per-sample modeled cost: the work,
   /// in modeled microseconds, this engine has committed to but not
   /// finished. Because sample_us() already divides by the device's
-  /// speed_factor, this *is* the normalized load replica routing balances
-  /// on — a 2x device reports half the delay for the same backlog.
+  /// speed_factor, this is normalized load — a 2x device reports half the
+  /// delay for the same backlog. Note this is the engine's *own* work only;
+  /// routing and admission balance estimated_queue_delay_us(), which adds
+  /// the cross-tenant backlog of a shared device.
   [[nodiscard]] double outstanding_work_us() const noexcept {
     return static_cast<double>(outstanding_total()) * backend_->sample_us();
   }
@@ -223,9 +229,13 @@ class InferenceEngine {
   }
 
   /// Admission-control estimate: outstanding work (queued + executing) in
-  /// modeled microseconds on this device.
+  /// modeled microseconds on this device — including, on a shared PU, the
+  /// work *other* tenants have already committed to the device, so a model
+  /// that is idle itself still sheds against a neighbour's flood instead of
+  /// queueing work the contended device cannot finish in time. This is also
+  /// the load normalized-work replica routing balances.
   [[nodiscard]] double estimated_queue_delay_us() const {
-    return outstanding_work_us();
+    return outstanding_work_us() + backend_->cross_tenant_backlog_us();
   }
 
  private:

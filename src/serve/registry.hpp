@@ -15,6 +15,13 @@
 // either misses the entry (kModelNotFound) or holds a reference that keeps
 // the whole set alive until its future resolves — undeploy drains, it never
 // abandons promises.
+//
+// Deployments placed on a SharedDevice (DeviceSpec::shared in
+// config.placement) are *tenants* of that PU, not owners: undeploying or
+// hot-redeploying one model drains only that model's engines — its
+// in-flight sub-batches retire on the device in order — while the other
+// tenants' lanes keep serving uninterrupted, and the device itself outlives
+// the registry entry through the tenants' backend handles.
 #pragma once
 
 #include <memory>

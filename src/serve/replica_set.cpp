@@ -1,12 +1,32 @@
 #include "serve/replica_set.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "serve/shared_device.hpp"
 #include "util/table.hpp"
 
 namespace mfdfp::serve {
+
+namespace {
+
+/// The DeviceSpec a tenant engine on a shared PU resolves to: the PU's
+/// identity and provisioning (its name and speed are authoritative), the
+/// placement entry's scheduling overrides (workers / max_batch /
+/// queue_capacity), and the handle itself so stats can find the device.
+DeviceSpec merge_shared_spec(const DeviceSpec& entry,
+                             const SharedDevice& device) {
+  DeviceSpec merged = device.spec();  // PU identity + its default overrides
+  if (entry.workers != 0) merged.workers = entry.workers;
+  if (entry.max_batch != 0) merged.max_batch = entry.max_batch;
+  if (entry.queue_capacity != 0) merged.queue_capacity = entry.queue_capacity;
+  merged.shared = entry.shared;
+  return merged;
+}
+
+}  // namespace
 
 ReplicaSet::ReplicaSet(std::vector<hw::QNetDesc> members,
                        DeployConfig config)
@@ -20,7 +40,7 @@ ReplicaSet::ReplicaSet(std::vector<hw::QNetDesc> members,
       if (!config_.placement[index].valid()) {
         throw std::invalid_argument(
             "ReplicaSet: placement[" + std::to_string(index) +
-            "] has speed_factor <= 0");
+            "] has speed_factor <= 0 and no shared device");
       }
     }
   } else if (!config_.device.valid()) {
@@ -42,21 +62,55 @@ ReplicaSet::ReplicaSet(std::vector<hw::QNetDesc> members,
     // The last replica can move the members; the others copy.
     std::vector<hw::QNetDesc> replica_members =
         index + 1 == config_.num_replicas ? std::move(members) : members;
-    replicas_.push_back(std::make_shared<InferenceEngine>(
-        std::move(replica_members), std::move(replica_config)));
+    if (replica_config.device.shared != nullptr) {
+      // Shared PU: attach a tenant backend to the named device instead of
+      // provisioning a private simulated accelerator. The engine is built
+      // through the ordinary backend-injection seam — no engine changes.
+      const std::shared_ptr<SharedDevice> device =
+          replica_config.device.shared;
+      replica_config.device =
+          merge_shared_spec(replica_config.device, *device);
+      std::shared_ptr<const SharedDeviceBackend> backend = device->attach(
+          std::move(replica_members), replica_config,
+          replica_config.device);
+      replicas_.push_back(std::make_shared<InferenceEngine>(
+          std::move(backend), std::move(replica_config)));
+    } else {
+      replicas_.push_back(std::make_shared<InferenceEngine>(
+          std::move(replica_members), std::move(replica_config)));
+    }
+  }
+
+  // Make each tenant's full engine-side backlog (queued + executing)
+  // visible to its device, so the other tenants' admission control and
+  // routing price a shared PU's true aggregate outstanding work (no-op
+  // for dedicated backends). weak_ptr: the device outlives the engine,
+  // and a drained tenant prices as 0. Bound only now, after every replica
+  // constructed: a throw mid-construction unwinds engines whose providers
+  // were never bound, and stop() unbinds before the last engine reference
+  // can drop (see ExecutionBackend::bind_load_provider) — so no provider
+  // can ever outlive, or destroy, its engine.
+  for (const auto& replica : replicas_) {
+    replica->backend().bind_load_provider(
+        [weak = std::weak_ptr<InferenceEngine>(replica)] {
+          const std::shared_ptr<InferenceEngine> engine = weak.lock();
+          return engine ? engine->outstanding_work_us() : 0.0;
+        });
   }
 }
 
 std::size_t ReplicaSet::pick_replica() {
   // Least-loaded replica under the configured policy. kNormalizedWork
-  // compares outstanding work in modeled microseconds on each replica's own
-  // device — per-sample cost already divides by the device's speed_factor,
-  // so a 2x replica reports half the delay for the same backlog and
-  // naturally absorbs 2x the traffic. kOutstandingCount compares raw
-  // request counts (speed-blind; the ablation baseline). The tied minimum
-  // is collected in the same pass that finds it: loads shift under
-  // concurrent submits, and re-reading them for the tie-break could leave
-  // it with no candidates.
+  // compares estimated queue delay in modeled microseconds on each
+  // replica's own device — per-sample cost already divides by the device's
+  // speed_factor, so a 2x replica reports half the delay for the same
+  // backlog and naturally absorbs 2x the traffic, and on a *shared* device
+  // the estimate counts every tenant's outstanding work, so a replica
+  // co-located with a busy neighbour stops looking idle. kOutstandingCount
+  // compares raw request counts (speed- and tenant-blind; the ablation
+  // baseline). The tied minimum is collected in the same pass that finds
+  // it: loads shift under concurrent submits, and re-reading them for the
+  // tie-break could leave it with no candidates.
   const bool normalized =
       config_.routing == RoutingPolicy::kNormalizedWork;
   double best = std::numeric_limits<double>::infinity();
@@ -65,7 +119,7 @@ std::size_t ReplicaSet::pick_replica() {
   for (std::size_t index = 0; index < replicas_.size(); ++index) {
     const double load =
         normalized
-            ? replicas_[index]->outstanding_work_us()
+            ? replicas_[index]->estimated_queue_delay_us()
             : static_cast<double>(replicas_[index]->outstanding_total());
     if (load < best) {
       best = load;
@@ -105,12 +159,36 @@ std::future<Response> ReplicaSet::submit(tensor::Tensor sample,
 
 void ReplicaSet::stop() {
   for (const auto& replica : replicas_) replica->stop();
+  // Unbind load providers before any engine reference can be dropped: a
+  // provider's weak_ptr::lock on another thread — running under a shared
+  // device's mutex — must never become the *last* owner of an engine,
+  // because ~InferenceEngine would then re-enter that mutex through
+  // ~SharedDeviceBackend -> release_tenant and self-deadlock. Unbinding
+  // serializes on the same mutex, so any provider call already in flight
+  // (and its temporary shared_ptr) completes before the unbind returns,
+  // and none can start afterwards. The engines are drained at this point,
+  // so pricing their load as the lane's own pending work is also simply
+  // correct. No-op for dedicated backends.
+  for (const auto& replica : replicas_) {
+    replica->backend().bind_load_provider(nullptr);
+  }
 }
 
 double ReplicaSet::total_speed() const noexcept {
+  // Each *physical* device counts once: two replicas attached to one shared
+  // PU add one PU's worth of provisioning, not two.
   double total = 0.0;
+  std::vector<const SharedDevice*> counted;
   for (const auto& replica : replicas_) {
-    total += replica->device().speed_factor;
+    const DeviceSpec& device = replica->device();
+    if (device.shared != nullptr) {
+      if (std::find(counted.begin(), counted.end(), device.shared.get()) !=
+          counted.end()) {
+        continue;
+      }
+      counted.push_back(device.shared.get());
+    }
+    total += device.speed_factor;
   }
   return total;
 }
@@ -147,19 +225,49 @@ StatsSnapshot ReplicaSet::aggregated_snapshot() const {
   std::vector<ServerStats::PartTotals> totals;
   StatsSnapshot total = ServerStats::aggregate(parts, &totals);
 
-  // Attach one utilization row per replica device — only the set knows
-  // which DeviceSpec each replica executes on.
+  // Attach one utilization row per *physical* device — only the set knows
+  // which DeviceSpec each replica executes on. Replicas placed on the same
+  // shared PU (identical DeviceSpec::shared handle) merge into one row:
+  // their busy times and completions add, and the merged utilization is the
+  // device's, so one PU can never render as N devices at up to N x 100%.
   total.devices.reserve(replicas_.size());
+  // Physical identity of each emitted row: the SharedDevice handle for
+  // shared rows (merge key), null for dedicated ones (never merged).
+  std::vector<const SharedDevice*> row_identity;
+  row_identity.reserve(replicas_.size());
   for (std::size_t index = 0; index < replicas_.size(); ++index) {
+    const DeviceSpec& device = replicas_[index]->device();
     DeviceUtilizationRow row;
-    row.device = replicas_[index]->device().name;
-    row.speed_factor = replicas_[index]->device().speed_factor;
+    row.device = device.name;
+    row.model = config_.model_name;
+    row.speed_factor = device.speed_factor;
     row.replica = static_cast<std::uint32_t>(index);
+    row.shared = device.shared != nullptr;
     row.completed = totals[index].completed;
     row.sim_accel_busy_us = totals[index].sim_accel_busy_us;
     row.sim_accel_utilization = totals[index].sim_accel_utilization;
     row.throughput_rps = totals[index].throughput_rps;
-    total.devices.push_back(std::move(row));
+
+    // Merge into the existing row of the same physical shared device.
+    bool absorbed = false;
+    if (row.shared) {
+      for (std::size_t prior = 0; prior < total.devices.size(); ++prior) {
+        if (row_identity[prior] == device.shared.get()) {
+          DeviceUtilizationRow& target = total.devices[prior];
+          target.merged_replicas += 1;
+          target.completed += row.completed;
+          target.sim_accel_busy_us += row.sim_accel_busy_us;
+          target.sim_accel_utilization += row.sim_accel_utilization;
+          target.throughput_rps += row.throughput_rps;
+          absorbed = true;
+          break;
+        }
+      }
+    }
+    if (!absorbed) {
+      row_identity.push_back(row.shared ? device.shared.get() : nullptr);
+      total.devices.push_back(std::move(row));
+    }
   }
   return total;
 }

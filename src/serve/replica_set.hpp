@@ -8,7 +8,11 @@
 // DeployConfig. Placement comes from DeployConfig.placement: one DeviceSpec
 // per replica (name, speed_factor scaling the cycle model, per-device
 // worker/batch/queue overrides), so one name can front a heterogeneous mix
-// like {1x, 1x, 4x}. An empty placement keeps the historical homogeneous
+// like {1x, 1x, 4x}. A placement entry whose DeviceSpec::shared names a
+// SharedDevice attaches that replica as a *tenant* of the shared PU
+// (serve/shared_device.hpp) instead of provisioning a private accelerator —
+// several deployments naming the same handle contend for, and co-batch on,
+// one device's cycles. An empty placement keeps the historical homogeneous
 // behaviour: num_replicas copies of config.device. A single-replica set
 // (the default) behaves exactly like the pre-replica registry.
 //

@@ -4,11 +4,14 @@
 // the sample with its SubmitOptions to that model's ReplicaSet, which picks
 // the least-loaded replica per the deployment's RoutingPolicy (normalized
 // outstanding work by default, so differently-provisioned devices absorb
-// proportional traffic) and applies the set-wide QoS quota; the chosen
+// proportional traffic — and replicas placed on a *shared* PU report every
+// tenant's backlog, so a replica co-located with a busy neighbour model is
+// never mistaken for idle) and applies the set-wide QoS quota; the chosen
 // engine then applies the per-replica scheduling policies (strict priority
-// drain, admission control priced on its own device, deadline handling). Unknown names
-// resolve immediately with kModelNotFound — and the router counts them,
-// since no per-model ServerStats exists to attribute the miss to.
+// drain, admission control priced on its own device's aggregate load,
+// deadline handling). Unknown names resolve immediately with
+// kModelNotFound — and the router counts them, since no per-model
+// ServerStats exists to attribute the miss to.
 //
 // A lookup racing an undeploy is safe: the shared_ptr handed out by the
 // registry pins the (draining) set for the whole submit path, so its

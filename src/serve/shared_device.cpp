@@ -1,0 +1,463 @@
+#include "serve/shared_device.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "serve/engine.hpp"
+#include "util/table.hpp"
+
+namespace mfdfp::serve {
+
+namespace {
+/// Windows shorter than this report zero utilization instead of dividing by
+/// a near-zero wall time (same guard as ServerStats).
+constexpr double kMinWindowSeconds = 1e-6;
+}  // namespace
+
+SharedDevice::SharedDevice(DeviceSpec spec, SharedDeviceConfig config)
+    : spec_(std::move(spec)), config_(config) {
+  if (config_.max_pass_samples == 0) config_.max_pass_samples = 1;
+  dispatcher_ = std::thread([this] { dispatch_main(); });
+}
+
+std::shared_ptr<SharedDevice> SharedDevice::create(DeviceSpec spec,
+                                                   SharedDeviceConfig config) {
+  if (spec.shared != nullptr) {
+    throw std::invalid_argument(
+        "SharedDevice: spec.shared must be empty (a shared device cannot "
+        "itself be placed on another shared device)");
+  }
+  if (spec.speed_factor <= 0.0) {
+    throw std::invalid_argument("SharedDevice: speed_factor <= 0");
+  }
+  if (spec.name.empty()) spec.name = "shared-pu";
+  // No make_shared: the constructor is private, and only attach() needs
+  // shared_from_this(), which create() guarantees is well-formed.
+  return std::shared_ptr<SharedDevice>(
+      new SharedDevice(std::move(spec), config));
+}
+
+SharedDevice::~SharedDevice() {
+  // Runs only after every tenant backend (and thus every engine worker that
+  // could block in execute()) released its handle, so all lanes are empty
+  // and the dispatcher is parked in work_ready_.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  dispatcher_.join();
+}
+
+std::shared_ptr<const SharedDeviceBackend> SharedDevice::attach(
+    std::vector<hw::QNetDesc> members, const DeployConfig& config,
+    DeviceSpec resolved) {
+  // The tenant's executors and per-sample pricing are exactly a dedicated
+  // simulated backend on this PU's provisioning; the shared device adds the
+  // queue, pass scheduling, and switch costs on top.
+  auto tenant = std::make_unique<Tenant>();
+  tenant->sim = std::make_unique<SimulatedAcceleratorBackend>(
+      std::move(members), config.accel, spec_, config.in_c, config.in_h,
+      config.in_w);
+  tenant->in_c = config.in_c;
+  tenant->in_h = config.in_h;
+  tenant->in_w = config.in_w;
+  tenant->model = config.model_name.empty() ? "model" : config.model_name;
+  tenant->label = tenant->model + "@" +
+                  std::to_string(config.model_version) + "/r" +
+                  std::to_string(config.replica_index);
+  if (config_.model_switch_us > 0.0) {
+    tenant->switch_us = config_.model_switch_us;
+  } else {
+    // Weight working set over the modeled DMA bandwidth. batch_dma_bytes(0)
+    // is the weights-only term (activations scale with the sample count).
+    const double bytes_per_us = std::max(config_.dma_gbps, 1e-9) * 1e3;
+    tenant->switch_us = tenant->sim->batch_dma_bytes(0) / bytes_per_us;
+  }
+
+  Tenant* raw = tenant.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tenants_.push_back(std::move(tenant));
+    active_.push_back(raw);
+  }
+  return std::make_shared<SharedDeviceBackend>(shared_from_this(), raw,
+                                               std::move(resolved));
+}
+
+std::size_t SharedDevice::tenant_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenants_.size();
+}
+
+double SharedDevice::backlog_us() const {
+  return backlog_excluding_us(nullptr);
+}
+
+double SharedDevice::backlog_excluding_us(const Tenant* excluded) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const Tenant* tenant : active_) {
+    if (tenant == excluded) continue;
+    total += tenant->load_provider ? tenant->load_provider()
+                                   : tenant->pending_us;
+  }
+  return total;
+}
+
+void SharedDevice::bind_tenant_load(const SharedDeviceBackend& backend,
+                                    std::function<double()> outstanding_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend.tenant_->load_provider = std::move(outstanding_us);
+}
+
+void SharedDevice::release_tenant(Tenant* tenant) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The owning engine drained before its backend died, so nothing of this
+  // tenant is queued or executing; drop the executors and predecoded
+  // weights so redeploy churn cannot accumulate dead models' working
+  // sets. The accounting row (label, counters) stays for snapshots, and
+  // switch_us stays valid in case resident_ still points here.
+  tenant->lane.clear();
+  tenant->load_provider = nullptr;
+  tenant->pending_us = 0.0;
+  tenant->sim.reset();
+  active_.erase(std::remove(active_.begin(), active_.end(), tenant),
+                active_.end());
+}
+
+void SharedDevice::submit_and_wait(Job& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stop_) {
+    // Unreachable by construction: the destructor (the only stop_ writer)
+    // cannot run while a backend — and therefore an engine worker calling
+    // execute() — still holds the device. Fail loudly rather than hang.
+    throw std::logic_error("SharedDevice: submit after destruction began");
+  }
+  // Conservative backlog estimate: compute plus a potential weight reload.
+  job.est_cost_us = job.owner->sim->batch_us(job.samples) +
+                    job.owner->switch_us;
+  job.owner->pending_us += job.est_cost_us;
+  job.owner->lane.push_back(&job);
+  work_ready_.notify_one();
+  pass_retired_.wait(lock, [&job] { return job.done; });
+}
+
+std::vector<SharedDevice::Job*> SharedDevice::next_pass_locked() {
+  std::vector<Job*> pass;
+  const std::size_t count = active_.size();
+  if (count == 0) return pass;
+
+  // Round-robin scan for the lead tenant, starting at the fairness cursor.
+  std::size_t lead = count;
+  for (std::size_t step = 0; step < count; ++step) {
+    const std::size_t index = (next_tenant_ + step) % count;
+    if (!active_[index]->lane.empty()) {
+      lead = index;
+      break;
+    }
+  }
+  if (lead == count) return pass;
+  next_tenant_ = (lead + 1) % count;
+
+  Tenant& lead_tenant = *active_[lead];
+  pass.push_back(lead_tenant.lane.front());
+  lead_tenant.lane.pop_front();
+  if (!config_.cobatch) return pass;  // time-sliced: one sub-batch per pass
+
+  // Coalesce more sub-batches, one per tenant per round-robin sweep so no
+  // tenant monopolizes the pass, as long as geometries align and the
+  // sample cap holds. Tenants whose shapes don't align simply wait for
+  // their own (serialized per-model) pass on a later round.
+  std::size_t total = pass.front()->samples;
+  bool progressed = true;
+  while (progressed && total < config_.max_pass_samples) {
+    progressed = false;
+    for (std::size_t step = 0;
+         step < count && total < config_.max_pass_samples; ++step) {
+      Tenant& tenant = *active_[(lead + step) % count];
+      if (tenant.lane.empty()) continue;
+      if (tenant.in_c != lead_tenant.in_c ||
+          tenant.in_h != lead_tenant.in_h ||
+          tenant.in_w != lead_tenant.in_w) {
+        continue;
+      }
+      Job* job = tenant.lane.front();
+      if (total + job->samples > config_.max_pass_samples) continue;
+      tenant.lane.pop_front();
+      pass.push_back(job);
+      total += job->samples;
+      progressed = true;
+    }
+  }
+
+  // Group by tenant so each model's weights are loaded at most once per
+  // pass (stable: preserves per-tenant FIFO order).
+  std::stable_sort(pass.begin(), pass.end(), [](const Job* a, const Job* b) {
+    return a->owner < b->owner;
+  });
+  return pass;
+}
+
+void SharedDevice::dispatch_main() {
+  hw::ExecScratch scratch;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto lanes_pending = [this] {
+      std::size_t samples = 0;
+      for (const Tenant* tenant : active_) {
+        for (const Job* job : tenant->lane) samples += job->samples;
+      }
+      return samples;
+    };
+    work_ready_.wait(lock, [this, &lanes_pending] {
+      return stop_ || lanes_pending() > 0;
+    });
+    if (config_.cobatch && config_.coalesce_window_us > 0 && !stop_) {
+      // Give just-woken engine workers a bounded beat to refill the lanes,
+      // so passes form full instead of racing the resubmission (see
+      // SharedDeviceConfig::coalesce_window_us). The window ends early
+      // both when a full pass is pending and when a whole slice elapses
+      // with no new arrivals — resubmission after a pass retires takes
+      // microseconds, so one quiet slice means the refill burst is over
+      // and waiting longer would only stall deployments whose engines
+      // cannot fill max_pass_samples at all.
+      const auto slice = std::chrono::microseconds(
+          std::min<std::int64_t>(config_.coalesce_window_us, 100));
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(config_.coalesce_window_us);
+      std::size_t seen = lanes_pending();
+      while (!stop_ && seen < config_.max_pass_samples &&
+             std::chrono::steady_clock::now() < deadline) {
+        const bool timed_out =
+            work_ready_.wait_for(lock, slice) == std::cv_status::timeout;
+        const std::size_t now_pending = lanes_pending();
+        if (timed_out && now_pending == seen) break;  // refill went quiet
+        seen = now_pending;
+      }
+    }
+    std::vector<Job*> pass = next_pass_locked();
+    if (pass.empty()) {
+      if (stop_) return;
+      continue;
+    }
+
+    // Plan the pass while still holding the lock: contiguous same-tenant
+    // ranges ("groups"), each paying one weight reload iff its model is
+    // not the resident one. Jobs already left the lanes, so concurrent
+    // submitters cannot perturb the plan.
+    struct Group {
+      std::size_t begin = 0, end = 0;  ///< [begin, end) into `pass`
+      Tenant* tenant = nullptr;
+      std::size_t samples = 0;
+      bool switched = false;
+    };
+    std::vector<Group> groups;
+    std::size_t pass_samples = 0;
+    double switch_total_us = 0.0;
+    for (std::size_t i = 0; i < pass.size(); ++i) {
+      pass_samples += pass[i]->samples;
+      if (groups.empty() || groups.back().tenant != pass[i]->owner) {
+        Group group;
+        group.begin = i;
+        group.tenant = pass[i]->owner;
+        group.switched = resident_ != pass[i]->owner;
+        if (group.switched) switch_total_us += group.tenant->switch_us;
+        resident_ = pass[i]->owner;
+        groups.push_back(group);
+      }
+      groups.back().end = i + 1;
+      groups.back().samples += pass[i]->samples;
+    }
+    lock.unlock();
+
+    const std::int64_t pass_start = util::Stopwatch::now_us();
+    // Execute every sub-batch through its own tenant's bit-accurate
+    // executors — pass composition can never change the logits.
+    double compute_total_us = 0.0;
+    for (Job* job : pass) {
+      job->result = job->owner->sim->execute(*job->stacked, scratch);
+      compute_total_us += job->result.sim_accel_us;
+    }
+    const double pass_cost_us =
+        config_.pass_overhead_us + switch_total_us + compute_total_us;
+
+    if (config_.paced) {
+      // The device is the single pacing authority: hold the whole pass
+      // until the modeled PU would have finished it.
+      const std::int64_t target_us =
+          pass_start + static_cast<std::int64_t>(pass_cost_us);
+      const std::int64_t now = util::Stopwatch::now_us();
+      if (target_us > now) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(target_us - now));
+      }
+    }
+
+    lock.lock();
+    std::size_t distinct_models = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (g == 0 || groups[g].tenant->model != groups[g - 1].tenant->model) {
+        ++distinct_models;
+      }
+    }
+    ++passes_;
+    if (distinct_models > 1) ++cobatched_passes_;
+    for (const Group& group : groups) model_switches_ += group.switched;
+    busy_us_ += pass_cost_us;
+    switch_busy_us_ += switch_total_us;
+
+    // Retire the pass: attribute its cost exactly across the sub-batches
+    // (compute is each job's own; overhead splits by pass samples; each
+    // group's reload splits by that group's samples), so the tenants' busy
+    // times sum to the device's and a shared PU can never read > 100%
+    // utilized from its tenants' rows.
+    for (const Group& group : groups) {
+      for (std::size_t i = group.begin; i < group.end; ++i) {
+        Job* job = pass[i];
+        Tenant& tenant = *job->owner;
+        const double sample_share =
+            pass_samples == 0 ? 0.0
+                              : static_cast<double>(job->samples) /
+                                    static_cast<double>(pass_samples);
+        const double group_share =
+            group.samples == 0 ? 0.0
+                               : static_cast<double>(job->samples) /
+                                     static_cast<double>(group.samples);
+        const double attributed_us =
+            job->result.sim_accel_us +
+            config_.pass_overhead_us * sample_share +
+            (group.switched ? tenant.switch_us * group_share : 0.0);
+        // DMA: activations always stream; weights only crossed the bus if
+        // this group actually reloaded them (resident otherwise).
+        const double weight_bytes = tenant.sim->batch_dma_bytes(0);
+        const double act_bytes =
+            tenant.sim->batch_dma_bytes(job->samples) - weight_bytes;
+        job->result.sim_accel_us = attributed_us;
+        job->result.sim_dma_bytes =
+            act_bytes +
+            (group.switched ? weight_bytes * group_share : 0.0);
+
+        tenant.sub_batches += 1;
+        tenant.samples += job->samples;
+        tenant.busy_us += attributed_us;
+        tenant.pending_us =
+            std::max(0.0, tenant.pending_us - job->est_cost_us);
+        job->done = true;
+      }
+    }
+    pass_retired_.notify_all();
+  }
+}
+
+SharedDeviceSnapshot SharedDevice::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SharedDeviceSnapshot s;
+  s.device = spec_.name;
+  s.speed_factor = spec_.speed_factor;
+  s.passes = passes_;
+  s.cobatched_passes = cobatched_passes_;
+  s.model_switches = model_switches_;
+  s.busy_us = busy_us_;
+  s.switch_us = switch_busy_us_;
+  s.wall_seconds = window_.seconds();
+  s.utilization = s.wall_seconds >= kMinWindowSeconds
+                      ? busy_us_ / (s.wall_seconds * 1e6)
+                      : 0.0;
+  s.tenants.reserve(tenants_.size());
+  for (const auto& tenant : tenants_) {
+    SharedTenantRow row;
+    row.tenant = tenant->label;
+    row.model = tenant->model;
+    row.sub_batches = tenant->sub_batches;
+    row.samples = tenant->samples;
+    row.busy_us = tenant->busy_us;
+    // Same source as backlog_us(): the engine-side provider when bound
+    // (queued + executing), lane-only pending otherwise — the tenant table
+    // must agree with what admission control is shedding against.
+    row.pending_us = tenant->load_provider ? tenant->load_provider()
+                                           : tenant->pending_us;
+    s.tenants.push_back(std::move(row));
+  }
+  return s;
+}
+
+std::string SharedDevice::stats_table(const std::string& title) const {
+  const SharedDeviceSnapshot s = snapshot();
+  util::TablePrinter device(title + " — shared device " + s.device);
+  device.set_header({"metric", "value"});
+  device.add_row({"speed", util::fmt_fixed(s.speed_factor, 2) + "x"});
+  device.add_row({"passes", std::to_string(s.passes)});
+  device.add_row({"co-batched passes", std::to_string(s.cobatched_passes)});
+  device.add_row({"model switches", std::to_string(s.model_switches)});
+  device.add_row({"busy (us)", util::fmt_fixed(s.busy_us, 1)});
+  device.add_row({"switch busy (us)", util::fmt_fixed(s.switch_us, 1)});
+  device.add_row({"utilization (%)", util::fmt_percent(s.utilization, 2)});
+
+  util::TablePrinter tenants(title + " — tenants on " + s.device);
+  tenants.set_header({"tenant", "model", "sub-batches", "samples",
+                      "busy (us)", "busy share (%)"});
+  for (const SharedTenantRow& row : s.tenants) {
+    const double share = s.busy_us > 0.0 ? row.busy_us / s.busy_us : 0.0;
+    tenants.add_row({row.tenant, row.model, std::to_string(row.sub_batches),
+                     std::to_string(row.samples),
+                     util::fmt_fixed(row.busy_us, 1),
+                     util::fmt_percent(share, 2)});
+  }
+  return device.to_string() + "\n" + tenants.to_string();
+}
+
+// ---- SharedDeviceBackend ----------------------------------------------------
+
+SharedDeviceBackend::SharedDeviceBackend(std::shared_ptr<SharedDevice> device,
+                                         SharedDevice::Tenant* tenant,
+                                         DeviceSpec resolved)
+    : device_(std::move(device)), tenant_(tenant),
+      resolved_(std::move(resolved)) {}
+
+SharedDeviceBackend::~SharedDeviceBackend() {
+  device_->release_tenant(tenant_);
+}
+
+BatchResult SharedDeviceBackend::execute(const tensor::Tensor& stacked,
+                                         hw::ExecScratch& /*scratch*/) const {
+  // The dispatch thread executes with its own scratch; the caller's is
+  // unused (the caller stays blocked here until its pass retires).
+  SharedDevice::Job job;
+  job.owner = tenant_;
+  job.stacked = &stacked;
+  job.samples = stacked.shape().n();
+  device_->submit_and_wait(job);
+  return std::move(job.result);
+}
+
+double SharedDeviceBackend::sample_us() const noexcept {
+  return tenant_->sim->sample_us();
+}
+
+double SharedDeviceBackend::batch_us(std::size_t batch_size) const {
+  return tenant_->sim->batch_us(batch_size);
+}
+
+double SharedDeviceBackend::batch_dma_bytes(std::size_t batch_size) const {
+  return tenant_->sim->batch_dma_bytes(batch_size);
+}
+
+std::size_t SharedDeviceBackend::member_count() const noexcept {
+  return tenant_->sim->member_count();
+}
+
+double SharedDeviceBackend::cross_tenant_backlog_us() const noexcept {
+  return device_->backlog_excluding_us(tenant_);
+}
+
+void SharedDeviceBackend::bind_load_provider(
+    std::function<double()> outstanding_us) const {
+  device_->bind_tenant_load(*this, std::move(outstanding_us));
+}
+
+}  // namespace mfdfp::serve

@@ -1,0 +1,364 @@
+// SharedDevice + SharedDeviceBackend: one physical PU serving many models.
+//
+// The paper's multiplier-free accelerator is a single cheap fixed-function
+// processing unit — cheap enough that a deployment rarely justifies a
+// private one per engine replica. A SharedDevice models that one physical
+// PU: it owns the device-side batch queue and the single dispatch thread
+// that drains it, and any number of InferenceEngines (across any number of
+// deployed models) attach to it through the ordinary ExecutionBackend seam.
+// `DeviceSpec::on(pu)` in a DeployConfig.placement is all it takes — the
+// engine code is unchanged, exactly what the seam was designed for.
+//
+// Scheduling: every tenant's prepared sub-batches land in a per-tenant FIFO
+// lane on the device. Each device pass, the dispatcher coalesces pending
+// sub-batches — round-robin across tenants for fairness, then grouped by
+// model for execution — into one pass of up to `max_pass_samples` samples,
+// provided the tenants' input geometries align; geometry-incompatible work
+// falls back to serialized per-model passes. With `cobatch = false` the
+// device degrades to classic time-sliced serialization (one sub-batch per
+// pass, strict round-robin over tenants) — the ablation baseline of
+// bench/ablation_shared_pu.
+//
+// Cost model: a pass pays
+//   - `pass_overhead_us` once (pipeline fill/drain + dispatch), plus
+//   - a weight-reload penalty each time the pass switches the PU to a model
+//     whose weights are not resident (the incoming model's weight working
+//     set over `dma_gbps`, or the fixed `model_switch_us` override), plus
+//   - each sub-batch's compute (its tenant's cycle-model latency on this
+//     device, exactly as a dedicated SimulatedAcceleratorBackend prices it).
+// Weights stay resident across passes until another model evicts them, so
+// co-batching's throughput win — amortizing reloads and per-pass overhead
+// over more samples — is the same statistical-multiplexing effect a real
+// shared accelerator sees. Logits are computed by each tenant's own
+// bit-accurate executors regardless of pass composition, so co-batching can
+// never change *what* a batch computes, only *when* it completes.
+//
+// Pacing: with `paced = true` (default) the dispatch thread itself holds
+// each pass until the modeled completion time before resolving the tenants'
+// execute() calls — the device is the single pacing authority, so N tenant
+// engines can never pace N devices' worth of work out of one PU. Tenant
+// engines must leave DeployConfig.paced_execution off; their
+// backend->paces_execution() tells them so.
+//
+// Thread-safety: attach() and every accessor may be called from any thread;
+// execute() blocks the calling engine worker until its sub-batch's pass
+// retires. All shared state is guarded by one device mutex; sub-batch
+// tensors are borrowed from the (blocked) caller for the duration of the
+// call, never retained.
+//
+// Lifetime: create() returns a shared_ptr; every attached backend holds one,
+// and engines hold their backend — so the device (and its dispatch thread)
+// outlives every tenant. The destructor therefore only runs once no tenant
+// can submit: it closes the queue and joins an idle dispatcher. Detaching a
+// tenant (undeploy / redeploy) is just draining its engine: its in-flight
+// sub-batches retire in order, other tenants' lanes are untouched, and its
+// accounting rows stay readable in the device snapshot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/device.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mfdfp::serve {
+
+struct DeployConfig;  // serve/engine.hpp
+class SharedDeviceBackend;
+
+/// Provisioning of one shared PU (see file comment for the cost model).
+struct SharedDeviceConfig {
+  /// Max samples coalesced into one device pass. Bounds how long a pass —
+  /// and therefore any tenant's wait for the *next* pass — can run, which
+  /// is what keeps interactive latency bounded under cross-model
+  /// interference.
+  std::size_t max_pass_samples = 32;
+
+  /// Coalesce compatible sub-batches from different models into one pass
+  /// (true) vs time-sliced serialization — one sub-batch per pass, strict
+  /// round-robin over tenants (false; the ablation baseline).
+  bool cobatch = true;
+
+  /// How long the dispatcher may hold pass formation waiting for more
+  /// sub-batches once at least one is pending, microseconds. At a pass
+  /// boundary every rider's engine worker wakes at once and resubmits
+  /// within microseconds; without a window the dispatcher would race them
+  /// and form a degenerate one-sub-batch pass. The window ends as soon as
+  /// a full pass is pending *or* a ~100us slice passes with no new
+  /// arrivals (the refill burst is over), so deployments whose engines
+  /// cannot fill max_pass_samples pay at most one quiet slice, not the
+  /// whole window. Keep it well under a full pass's modeled cost — it is
+  /// host-side formation latency. Ignored when cobatch is off (time
+  /// slicing serves one sub-batch per pass regardless).
+  std::int64_t coalesce_window_us = 500;
+
+  /// Hold each pass until its modeled completion time before resolving the
+  /// tenants' execute() calls, so wall-clock behaviour tracks the device's
+  /// cycle model (the shared-device analogue of
+  /// DeployConfig.paced_execution — central, one pacing thread per PU).
+  bool paced = true;
+
+  /// Modeled DMA bandwidth for weight reloads when the PU switches models,
+  /// GB/s. A model's switch penalty is its weight working set over this
+  /// bandwidth.
+  double dma_gbps = 8.0;
+
+  /// Fixed per-model switch penalty override, microseconds; > 0 replaces
+  /// the dma_gbps-derived reload time (benches pin it for determinism).
+  double model_switch_us = 0.0;
+
+  /// Fixed per-pass overhead (pipeline fill/drain + dispatch), us.
+  double pass_overhead_us = 0.0;
+};
+
+/// Per-tenant view of a shared device's accounting, one row per attached
+/// engine (tenant rows are append-only; a detached tenant's row freezes).
+struct SharedTenantRow {
+  std::string tenant;         ///< "model@version/r<replica>"
+  std::string model;          ///< model name alone
+  std::uint64_t sub_batches = 0;  ///< executed sub-batches of this tenant
+  std::uint64_t samples = 0;      ///< samples served for this tenant
+  double busy_us = 0.0;       ///< modeled device time attributed to tenant
+  double pending_us = 0.0;    ///< queued + executing modeled work right now
+};
+
+/// Consistent view of one shared device (SharedDevice::snapshot()).
+struct SharedDeviceSnapshot {
+  std::string device;
+  double speed_factor = 1.0;
+  std::uint64_t passes = 0;           ///< device passes executed
+  std::uint64_t cobatched_passes = 0; ///< passes mixing >= 2 models
+  std::uint64_t model_switches = 0;   ///< weight reloads paid
+  double busy_us = 0.0;               ///< total modeled busy time
+  double switch_us = 0.0;             ///< busy time spent reloading weights
+  double wall_seconds = 0.0;          ///< observation window
+  double utilization = 0.0;           ///< busy / wall, [0, 1] when paced
+  std::vector<SharedTenantRow> tenants;
+};
+
+class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
+ public:
+  /// Creates one physical PU with the given identity/provisioning and
+  /// starts its dispatch thread. `spec.shared` must be empty (a shared
+  /// device cannot itself be placed on another shared device) and
+  /// `spec.speed_factor` must be > 0; throws std::invalid_argument
+  /// otherwise. An empty name becomes "shared-pu".
+  [[nodiscard]] static std::shared_ptr<SharedDevice> create(
+      DeviceSpec spec = {}, SharedDeviceConfig config = {});
+
+  /// Joins the dispatch thread. Runs only after every tenant backend (and
+  /// thus every engine) released its handle, so the queue is empty.
+  ~SharedDevice();
+
+  SharedDevice(const SharedDevice&) = delete;
+  SharedDevice& operator=(const SharedDevice&) = delete;
+
+  /// Attaches one tenant engine: builds the bit-accurate executors for
+  /// `members` priced on this device's spec, registers a tenant lane, and
+  /// returns the ExecutionBackend the engine submits through. Called by
+  /// ReplicaSet for every replica whose placement entry carries this
+  /// device's handle; `config` supplies geometry and identity
+  /// (model_name/version/replica_index), `resolved` the merged DeviceSpec
+  /// the backend reports (PU name + speed, tenant scheduling overrides).
+  /// Throws std::invalid_argument on an empty member list.
+  [[nodiscard]] std::shared_ptr<const SharedDeviceBackend> attach(
+      std::vector<hw::QNetDesc> members, const DeployConfig& config,
+      DeviceSpec resolved);
+
+  /// Binds the engine-side outstanding-work provider of the tenant behind
+  /// `backend` (returned by attach()). When bound, the device prices that
+  /// tenant's share of the aggregate backlog as the provider's value — the
+  /// engine's full committed work, queued *and* executing — instead of only
+  /// the sub-batches already sitting in the device lane, so a neighbour's
+  /// deep engine queue is visible to other tenants' admission control and
+  /// routing. The provider is called under the device mutex from any
+  /// thread; it must be lock-free on its side, and it must never be (or
+  /// become) the last owner of anything whose destructor re-enters this
+  /// device — a weak_ptr-locking provider must be unbound (pass nullptr)
+  /// *before* the last engine reference can drop, or the provider's
+  /// temporary shared_ptr could run ~InferenceEngine ->
+  /// ~SharedDeviceBackend -> release_tenant under the already-held device
+  /// mutex. ReplicaSet::stop() performs exactly that unbind; unbinding
+  /// serializes on the device mutex against in-flight provider calls.
+  void bind_tenant_load(const SharedDeviceBackend& backend,
+                        std::function<double()> outstanding_us);
+
+  [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const SharedDeviceConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Engines ever attached (detached tenants still count — their
+  /// accounting rows persist).
+  [[nodiscard]] std::size_t tenant_count() const;
+
+  /// Modeled microseconds of queued + executing work across all tenants.
+  [[nodiscard]] double backlog_us() const;
+
+  /// Consistent accounting snapshot (see SharedDeviceSnapshot).
+  [[nodiscard]] SharedDeviceSnapshot snapshot() const;
+
+  /// The snapshot rendered as device + per-tenant tables, ready to print.
+  [[nodiscard]] std::string stats_table(const std::string& title) const;
+
+ private:
+  friend class SharedDeviceBackend;
+
+  struct Tenant;
+
+  /// One engine sub-batch waiting for (or riding in) a device pass. Lives
+  /// on the blocked execute() caller's stack; the device only keeps a
+  /// pointer while the job is queued or executing.
+  struct Job {
+    Tenant* owner = nullptr;
+    const tensor::Tensor* stacked = nullptr;  ///< borrowed from the caller
+    std::size_t samples = 0;
+    double est_cost_us = 0.0;  ///< backlog contribution until retired
+    BatchResult result;
+    bool done = false;
+  };
+
+  /// One attached engine: its executors, switch pricing, lane, accounting.
+  /// Heap-allocated and never destroyed before the device, so Tenant*
+  /// stays valid across concurrent attach() reallocation of tenants_;
+  /// everything but the accounting/lane fields is immutable after attach.
+  /// When the tenant's backend is destroyed (undeploy/redeploy), `sim` —
+  /// the heavy part: executors and predecoded weights — is released and
+  /// the row freezes; churning redeploys on a long-lived PU must not
+  /// accumulate dead models' working sets.
+  struct Tenant {
+    std::string label;
+    std::string model;
+    std::unique_ptr<SimulatedAcceleratorBackend> sim;  ///< null once detached
+    std::size_t in_c = 0, in_h = 0, in_w = 0;
+    double switch_us = 0.0;  ///< weight-reload penalty for this model
+    std::deque<Job*> lane;   ///< guarded by mutex_
+    /// Engine-side committed work, bound by bind_tenant_load(); when unset
+    /// the device falls back to the lane's own pending_us.
+    std::function<double()> load_provider;
+    // Accounting (guarded by mutex_).
+    std::uint64_t sub_batches = 0;
+    std::uint64_t samples = 0;
+    double busy_us = 0.0;
+    double pending_us = 0.0;
+  };
+
+  SharedDevice(DeviceSpec spec, SharedDeviceConfig config);
+
+  /// Enqueues `job` into its tenant lane and blocks until its pass retires
+  /// (the execute() implementation of SharedDeviceBackend).
+  void submit_and_wait(Job& job);
+
+  /// Called by ~SharedDeviceBackend: frees the tenant's executors and load
+  /// provider (its engine has drained, so the lane is empty) while keeping
+  /// the accounting row readable in snapshots.
+  void release_tenant(Tenant* tenant);
+
+  /// Aggregate pending work minus `tenant`'s own contribution.
+  [[nodiscard]] double backlog_excluding_us(const Tenant* tenant) const;
+
+  void dispatch_main();
+
+  /// Pops the next pass from the tenant lanes (caller holds mutex_):
+  /// strict round-robin one sub-batch per pass when cobatch is off;
+  /// otherwise round-robin across geometry-compatible tenants up to
+  /// max_pass_samples, returned grouped by tenant so weight reloads are
+  /// paid once per model per pass.
+  [[nodiscard]] std::vector<Job*> next_pass_locked();
+
+  DeviceSpec spec_;
+  SharedDeviceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_ready_;   ///< dispatcher waits for jobs
+  std::condition_variable pass_retired_; ///< execute() callers wait for done
+  std::vector<std::unique_ptr<Tenant>> tenants_;  ///< guarded by mutex_
+  /// Attached-and-not-released tenants — what the dispatcher and the
+  /// backlog/admission paths iterate. Released tenants stay in tenants_
+  /// (their rows and Tenant* stability outlive them) but leave this list,
+  /// so redeploy churn cannot grow the per-submit scan without bound.
+  std::vector<Tenant*> active_;  ///< guarded by mutex_
+  std::size_t next_tenant_ = 0;  ///< round-robin cursor over active_
+  /// Tenant whose weights are resident in the PU's weight buffer; null
+  /// before the first pass. Tenants share residency only with themselves —
+  /// conservative for two replicas of one model, and a redeployed version
+  /// legitimately reloads.
+  const Tenant* resident_ = nullptr;
+  bool stop_ = false;
+
+  // Accounting (guarded by mutex_).
+  std::uint64_t passes_ = 0;
+  std::uint64_t cobatched_passes_ = 0;
+  std::uint64_t model_switches_ = 0;
+  double busy_us_ = 0.0;
+  double switch_busy_us_ = 0.0;
+  util::Stopwatch window_;
+
+  std::thread dispatcher_;
+};
+
+/// The per-tenant ExecutionBackend facade a SharedDevice hands each engine:
+/// execute() forwards the prepared batch into the device queue and blocks
+/// until the dispatch thread retires its pass (paced to the modeled device
+/// when SharedDeviceConfig.paced). Cost accessors report the tenant's own
+/// per-sample cost on the shared PU; cross_tenant_backlog_us() reports the
+/// other tenants' queued work so engine admission and ReplicaSet routing
+/// price the device's aggregate load.
+///
+/// Thread-safety: as ExecutionBackend requires — all methods safe from any
+/// number of engine worker / submit threads. Lifetime: holds the
+/// SharedDevice alive; destroyed only after its engine drained, so no
+/// execute() can be in flight.
+class SharedDeviceBackend final : public ExecutionBackend {
+ public:
+  SharedDeviceBackend(std::shared_ptr<SharedDevice> device,
+                      SharedDevice::Tenant* tenant, DeviceSpec resolved);
+
+  /// Releases the tenant's device-side executors (see
+  /// SharedDevice::release_tenant). Runs only after the owning engine
+  /// drained, so no execute() is in flight and the lane is empty.
+  ~SharedDeviceBackend() override;
+
+  SharedDeviceBackend(const SharedDeviceBackend&) = delete;
+  SharedDeviceBackend& operator=(const SharedDeviceBackend&) = delete;
+
+  [[nodiscard]] BatchResult execute(const tensor::Tensor& stacked,
+                                    hw::ExecScratch& scratch) const override;
+  [[nodiscard]] const DeviceSpec& device() const noexcept override {
+    return resolved_;
+  }
+  [[nodiscard]] double sample_us() const noexcept override;
+  [[nodiscard]] double batch_us(std::size_t batch_size) const override;
+  [[nodiscard]] double batch_dma_bytes(std::size_t batch_size) const override;
+  [[nodiscard]] std::size_t member_count() const noexcept override;
+  [[nodiscard]] bool paces_execution() const noexcept override {
+    return device_->config().paced;
+  }
+  [[nodiscard]] double cross_tenant_backlog_us() const noexcept override;
+  /// Forwards to SharedDevice::bind_tenant_load for this tenant.
+  void bind_load_provider(
+      std::function<double()> outstanding_us) const override;
+
+  [[nodiscard]] const std::shared_ptr<SharedDevice>& shared_device()
+      const noexcept {
+    return device_;
+  }
+
+ private:
+  friend class SharedDevice;  // bind_tenant_load resolves tenant_
+
+  std::shared_ptr<SharedDevice> device_;
+  /// Stable pointer into device_->tenants_ (Tenants live as long as the
+  /// device; immutable fields are read lock-free by the cost accessors).
+  SharedDevice::Tenant* tenant_;
+  DeviceSpec resolved_;
+};
+
+}  // namespace mfdfp::serve

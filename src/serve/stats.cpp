@@ -214,10 +214,16 @@ std::string render_stats_tables(const StatsSnapshot& s,
 
   if (!s.devices.empty()) {
     util::TablePrinter devices(title + " — devices");
-    devices.set_header({"device", "replica", "speed", "completed",
+    devices.set_header({"device", "model", "replicas", "speed", "completed",
                         "req/s", "busy (us)", "util (%)"});
     for (const DeviceUtilizationRow& row : s.devices) {
-      devices.add_row({row.device, std::to_string(row.replica),
+      // Merged shared-PU rows list the replica span, not one index.
+      const std::string replicas =
+          row.merged_replicas > 1
+              ? std::to_string(row.merged_replicas) + " (shared)"
+              : (row.shared ? std::to_string(row.replica) + " (shared)"
+                            : std::to_string(row.replica));
+      devices.add_row({row.device, row.model, replicas,
                        util::fmt_fixed(row.speed_factor, 2) + "x",
                        std::to_string(row.completed),
                        util::fmt_fixed(row.throughput_rps, 1),

@@ -26,15 +26,29 @@
 
 namespace mfdfp::serve {
 
-/// Per-device utilization of one replica set: one row per replica's
+/// Per-device utilization of one replica set: one row per *physical*
 /// accelerator device. ServerStats itself is device-agnostic (it counts one
 /// engine's traffic); ReplicaSet::aggregated_snapshot attaches these rows
 /// because only the set knows which DeviceSpec each replica executes on.
+/// When several of the set's engines share one physical PU
+/// (DeviceSpec::shared), their rows are merged into a single row for that
+/// device — N tenants must never render as N devices, or the device table
+/// reads a PU as up to N x 100% utilized.
 struct DeviceUtilizationRow {
   std::string device;            ///< DeviceSpec name ("dev0", "npu-fast", ...)
+  std::string model;             ///< model name served on this device row
   double speed_factor = 1.0;     ///< provisioning relative to the baseline
-  std::uint32_t replica = 0;     ///< replica index within the set
-  std::uint64_t completed = 0;   ///< requests this device served
+  /// Replica index within the set; for a merged shared-device row, the
+  /// lowest index of the replicas placed on it.
+  std::uint32_t replica = 0;
+  /// Engines merged into this row (1 for a dedicated device; >= 1 replicas
+  /// of *this* set for a shared one).
+  std::uint32_t merged_replicas = 1;
+  /// True when the device is a shared PU (other models' tenants — not part
+  /// of this snapshot — may be contending for the same cycles; see
+  /// SharedDevice::snapshot for the cross-model view).
+  bool shared = false;
+  std::uint64_t completed = 0;   ///< requests this device served for the set
   double sim_accel_busy_us = 0.0;       ///< device-scaled modeled busy time
   double sim_accel_utilization = 0.0;   ///< busy / wall, [0, 1]
   double throughput_rps = 0.0;          ///< completed / wall window
