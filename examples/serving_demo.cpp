@@ -16,7 +16,11 @@
 // ServerStats tables (tail latency per priority class, batch-size mix,
 // queue depth, sheds/timeouts, simulated accelerator busy time / DMA,
 // per-device utilization rows) and the shared PU's cross-model tenant
-// table.
+// table. The traffic phase runs with request-lifecycle tracing enabled
+// (docs/observability.md): the demo writes the whole run as
+// serving_demo_trace.json — load it at https://ui.perfetto.dev — and
+// finishes with the ensemble's per-layer profile table and the server's
+// Prometheus metrics dump.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -29,7 +33,9 @@
 #include "core/ensemble.hpp"
 #include "data/synthetic.hpp"
 #include "hw/cost_model.hpp"
+#include "hw/layer_profile.hpp"
 #include "nn/zoo.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "serve/shared_device.hpp"
 #include "util/logging.hpp"
@@ -125,6 +131,9 @@ int main() {
 
   // 3. Open-loop Poisson traffic over the test set: 75% kBatch bulk to the
   //    ensemble, 25% kInteractive probes alternating between both models.
+  //    Trace the whole phase: every queue wait, device pass, shared-PU
+  //    co-batch, and admission decision lands in the ring buffers.
+  obs::trace().set_enabled(true);
   constexpr double kArrivalRps = 300.0;
   const std::size_t total = dataset.test.images.shape().n();
   std::printf("replaying %zu test images as Poisson arrivals at %.0f req/s "
@@ -190,10 +199,35 @@ int main() {
     if (response.predicted_class == primary_class[s]) ++shadow_agree;
   }
 
-  // 4. Report per model — the "ensemble" tables include the per-device
+  // 4. Export the trace (the rings hold the most recent window of the
+  //    traffic phase) and stop recording.
+  obs::trace().set_enabled(false);
+  const obs::TraceRecorder::Stats trace_stats = obs::trace().stats();
+  const char* trace_path = "serving_demo_trace.json";
+  if (obs::trace().write_chrome_json(trace_path)) {
+    std::printf("\nwrote %s (%llu events recorded across %zu threads, "
+                "%llu overwritten) — load it at https://ui.perfetto.dev\n",
+                trace_path,
+                static_cast<unsigned long long>(trace_stats.recorded),
+                trace_stats.threads,
+                static_cast<unsigned long long>(trace_stats.dropped));
+  }
+
+  // 5. Report per model — the "ensemble" tables include the per-device
   //    utilization rows of its heterogeneous placement, and the shared PU
-  //    prints its own cross-model tenant table — then shut down.
+  //    prints its own cross-model tenant table. The per-layer profiles
+  //    (one per ensemble member) break the modeled cycles, DMA, and
+  //    datapath occupancy down by layer; their cycle totals reconcile
+  //    bit-exactly with the cycle model the serving costs are priced on.
   std::printf("%s\n\n", server.stats_table("ensemble").c_str());
+  const std::vector<hw::LayerProfile> profiles =
+      server.engine("ensemble")->layer_profiles();
+  for (std::size_t m = 0; m < profiles.size(); ++m) {
+    std::printf("%s\n\n",
+                hw::render_layer_profile_table(
+                    profiles[m], "ensemble member " + std::to_string(m))
+                    .c_str());
+  }
   std::printf("%s\n\n", server.stats_table("single").c_str());
   std::printf("%s\n\n", edge_pu->stats_table("demo").c_str());
   std::printf("served %zu/%zu requests (%zu shed, %zu timed out), "
@@ -206,6 +240,11 @@ int main() {
   for (const auto& [device, count] : served_by_device) {
     std::printf("  device \"%s\" served %zu\n", device.c_str(), count);
   }
+
+  // 6. The same observations, scrape-shaped: the whole server as one
+  //    Prometheus text dump (series reference in docs/observability.md).
+  std::printf("\n--- export_metrics() ---\n%s",
+              server.export_metrics().c_str());
   server.shutdown();
   return 0;
 }

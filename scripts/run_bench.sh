@@ -4,9 +4,15 @@
 # numbers (serve_throughput), the multi-model priority/admission ablation
 # numbers (ablation_multimodel), the replica-scaling numbers
 # (ablation_replicas), the heterogeneous-device scaling + routing numbers
-# (ablation_hetero), and the shared-PU cross-model batching numbers
-# (ablation_shared_pu). See docs/benchmarks.md for every bench's enforced
-# thresholds.
+# (ablation_hetero), the shared-PU cross-model batching numbers
+# (ablation_shared_pu), and the tracing-overhead + layer-profile
+# reconciliation numbers (ablation_trace_overhead). See docs/benchmarks.md
+# for every bench's enforced thresholds.
+#
+# Failure discipline: every bench must exit 0 AND write a non-empty JSON
+# fragment, or this script fails loudly with a nonzero exit. The stamp is
+# assembled and validated in a temp dir and only then moved into place —
+# a failing run never leaves a partial or stale-looking BENCH_serve.json.
 #
 # Usage: scripts/run_bench.sh [build-dir]   (default: build)
 # Respects MFDFP_QUICK=1 for a ~4x faster run.
@@ -15,8 +21,10 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
-for target in serve_throughput ablation_multimodel ablation_replicas \
-              ablation_hetero ablation_shared_pu; do
+benches=(serve_throughput ablation_multimodel ablation_replicas
+         ablation_hetero ablation_shared_pu ablation_trace_overhead)
+
+for target in "${benches[@]}"; do
   if [[ ! -x "$build_dir/$target" ]]; then
     echo "building $target in $build_dir..."
     cmake -B "$build_dir" -S "$repo_root"
@@ -27,13 +35,31 @@ done
 tmp_dir="$(mktemp -d)"
 trap 'rm -rf "$tmp_dir"' EXIT
 
-"$build_dir/serve_throughput" "$tmp_dir/serve.json"
-"$build_dir/ablation_multimodel" "$tmp_dir/multimodel.json"
-"$build_dir/ablation_replicas" "$tmp_dir/replicas.json"
-"$build_dir/ablation_hetero" "$tmp_dir/hetero.json"
-"$build_dir/ablation_shared_pu" "$tmp_dir/shared_pu.json"
+# Runs one bench and insists on both a zero exit and a non-empty JSON
+# fragment; anything else aborts the whole stamp.
+run_bench() {
+  local name="$1" out="$2"
+  echo "=== $name ==="
+  if ! "$build_dir/$name" "$out"; then
+    echo "FAIL: $name exited nonzero; refusing to stamp BENCH_serve.json" >&2
+    exit 1
+  fi
+  if [[ ! -s "$out" ]]; then
+    echo "FAIL: $name exited 0 but wrote no JSON fragment to $out;" \
+         "refusing to stamp BENCH_serve.json" >&2
+    exit 1
+  fi
+}
+
+run_bench serve_throughput "$tmp_dir/serve.json"
+run_bench ablation_multimodel "$tmp_dir/multimodel.json"
+run_bench ablation_replicas "$tmp_dir/replicas.json"
+run_bench ablation_hetero "$tmp_dir/hetero.json"
+run_bench ablation_shared_pu "$tmp_dir/shared_pu.json"
+run_bench ablation_trace_overhead "$tmp_dir/trace_overhead.json"
 
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+stamp="$tmp_dir/BENCH_serve.json"
 {
   echo "{"
   echo "  \"git_sha\": \"$git_sha\","
@@ -51,8 +77,22 @@ git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknow
   echo "  ,"
   echo "  \"shared_pu\":"
   sed 's/^/  /' "$tmp_dir/shared_pu.json"
+  echo "  ,"
+  echo "  \"trace_overhead\":"
+  sed 's/^/  /' "$tmp_dir/trace_overhead.json"
   echo "}"
-} > "$repo_root/BENCH_serve.json"
+} > "$stamp"
+
+# Validate the assembled stamp parses before it replaces the previous one.
+if command -v python3 >/dev/null 2>&1; then
+  if ! python3 -m json.tool "$stamp" >/dev/null; then
+    echo "FAIL: assembled stamp is not valid JSON; refusing to overwrite" \
+         "BENCH_serve.json" >&2
+    exit 1
+  fi
+fi
+
+mv "$stamp" "$repo_root/BENCH_serve.json"
 
 echo "---"
 cat "$repo_root/BENCH_serve.json"

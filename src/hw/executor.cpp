@@ -1,8 +1,11 @@
 #include "hw/executor.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
+
+#include "hw/layer_profile.hpp"
 
 namespace mfdfp::hw {
 
@@ -403,8 +406,12 @@ void AcceleratorExecutor::run_fc_fast(const QFullyConnected& fc,
 void AcceleratorExecutor::run_codes_scratch(ExecScratch& scratch) const {
   CodeTensor& input = scratch.input;
   CodeTensor& out = scratch.output;
+  using clock = std::chrono::steady_clock;
+  const bool profiled = profiler_ != nullptr;
   for (std::size_t i = 0; i < desc_.layers.size(); ++i) {
     const QLayer& layer = desc_.layers[i];
+    const clock::time_point layer_start =
+        profiled ? clock::now() : clock::time_point{};
     if (const auto* conv = std::get_if<QConv>(&layer)) {
       run_conv_fast(*conv, fast_weights_[i], input, out, scratch.index);
       std::swap(input, out);
@@ -418,6 +425,13 @@ void AcceleratorExecutor::run_codes_scratch(ExecScratch& scratch) const {
       apply_relu(input, relu->out_frac);
     } else if (const auto* flat = std::get_if<QFlatten>(&layer)) {
       apply_flatten(input, flat->out_frac);
+    }
+    if (profiled) {
+      profiler_->record_layer_host_ns(
+          i, static_cast<std::uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     clock::now() - layer_start)
+                     .count()));
     }
   }
 }
@@ -457,6 +471,7 @@ Tensor AcceleratorExecutor::run_batch(const Tensor& images,
                                       ExecScratch& scratch) const {
   CodeTensor::encode_into(images, desc_.input_frac, scratch.input);
   run_codes_scratch(scratch);
+  if (profiler_ != nullptr) profiler_->record_pass(images.shape().n());
   return scratch.input.decode();
 }
 

@@ -13,6 +13,8 @@
 
 namespace mfdfp::hw {
 
+class LayerProfiler;  // hw/layer_profile.hpp
+
 /// Activation tensor in code domain: 8-bit codes at a common radix `frac`.
 struct CodeTensor {
   tensor::Shape shape;
@@ -71,6 +73,18 @@ class AcceleratorExecutor {
 
   [[nodiscard]] const QNetDesc& desc() const noexcept { return desc_; }
 
+  /// Attaches the per-layer profiling sink run_batch reports into (pass /
+  /// sample counts plus per-layer host kernel time; the modeled cycle/DMA
+  /// tables live in the profiler itself — see hw/layer_profile.hpp). Call
+  /// before the first concurrent run_batch; null detaches. The profiler
+  /// must outlive the executor's last run_batch call.
+  void set_profiler(LayerProfiler* profiler) noexcept {
+    profiler_ = profiler;
+  }
+  [[nodiscard]] const LayerProfiler* profiler() const noexcept {
+    return profiler_;
+  }
+
  private:
   /// Runs layer `i` out-of-place: reads `input`, fills `out` (shape/frac
   /// set, codes resized reusing capacity). Only conv/fc/pool use this path.
@@ -101,6 +115,10 @@ class AcceleratorExecutor {
   /// The same weights as plain integer multipliers +/-2^(7+e) (units
   /// 2^-(m+7), identical to synapse_product) for the batched fast kernels.
   std::vector<std::vector<std::int32_t>> fast_weights_;
+  /// Profiling sink of the batched serving path (null = no profiling). The
+  /// profiler's accumulators are atomic, so concurrent run_batch callers
+  /// may share it.
+  LayerProfiler* profiler_ = nullptr;
 };
 
 /// Averaged-logit ensemble execution (one accelerator processing unit per

@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mfdfp::obs {
+
+namespace {
+
+[[nodiscard]] const char* type_name(MetricType type) noexcept {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kSummary: return "summary";
+  }
+  return "untyped";
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+void append_escaped(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const MetricLabels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_value(std::string& out, double value) {
+  if (std::isnan(value)) {
+    out += "NaN";
+    return;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out += buffer;
+}
+
+}  // namespace
+
+MetricsRegistry::Family& MetricsRegistry::Family::add(MetricLabels labels,
+                                                      double value) {
+  Sample sample;
+  sample.labels = std::move(labels);
+  sample.value = value;
+  registry_->families_[index_].samples.push_back(std::move(sample));
+  return *this;
+}
+
+MetricsRegistry::Family& MetricsRegistry::Family::add_quantile(
+    MetricLabels labels, double quantile, double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%g", quantile);
+  labels.emplace_back("quantile", buffer);
+  return add(std::move(labels), value);
+}
+
+MetricsRegistry::Family& MetricsRegistry::Family::add_summary_totals(
+    MetricLabels labels, std::uint64_t count, double sum) {
+  Sample sum_sample;
+  sum_sample.suffix = "_sum";
+  sum_sample.labels = labels;
+  sum_sample.value = sum;
+  registry_->families_[index_].samples.push_back(std::move(sum_sample));
+
+  Sample count_sample;
+  count_sample.suffix = "_count";
+  count_sample.labels = std::move(labels);
+  count_sample.integral = true;
+  count_sample.ivalue = count;
+  registry_->families_[index_].samples.push_back(std::move(count_sample));
+  return *this;
+}
+
+MetricsRegistry::Family MetricsRegistry::family(std::string name,
+                                                std::string help,
+                                                MetricType type) {
+  FamilyData data;
+  data.name = std::move(name);
+  data.help = std::move(help);
+  data.type = type;
+  families_.push_back(std::move(data));
+  return Family(this, families_.size() - 1);
+}
+
+std::string MetricsRegistry::render() const {
+  std::string out;
+  for (const FamilyData& family : families_) {
+    out += "# HELP ";
+    out += family.name;
+    out += ' ';
+    out += family.help;
+    out += '\n';
+    out += "# TYPE ";
+    out += family.name;
+    out += ' ';
+    out += type_name(family.type);
+    out += '\n';
+    for (const Sample& sample : family.samples) {
+      out += family.name;
+      out += sample.suffix;
+      append_labels(out, sample.labels);
+      out += ' ';
+      if (sample.integral) {
+        out += std::to_string(sample.ivalue);
+      } else {
+        append_value(out, sample.value);
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace mfdfp::obs

@@ -1,0 +1,85 @@
+// Prometheus-style metrics exposition (text format 0.0.4).
+//
+// MetricsRegistry is a *builder*, not a live store: the serving stack
+// already keeps its counters in ServerStats / SharedDevice / RequestQueue,
+// so ModelServer::export_metrics() takes a snapshot of those and renders it
+// through a registry — declare a family (name + help + type), add one
+// sample per label set, render. No locks, no background threads, no
+// double-counting risk: every export is one consistent pass over the
+// snapshots that already exist.
+//
+// Supported families map onto Prometheus types:
+//   kCounter  -> "counter": monotonic totals (requests completed, sheds)
+//   kGauge    -> "gauge":   point-in-time values (queue depth, utilization)
+//   kSummary  -> "summary": pre-aggregated quantiles (latency p50/p95/p99)
+//                rendered as name{quantile="0.99"} plus _sum / _count rows.
+//
+// Output conforms to the exposition format scrapers parse: one # HELP and
+// # TYPE line per family, then samples in insertion order with escaped
+// label values. See docs/observability.md for the full name reference.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mfdfp::obs {
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kSummary };
+
+/// One label set, e.g. {{"model", "cnn"}, {"lane", "interactive"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  /// Handle for adding samples to one declared family.
+  class Family {
+   public:
+    /// Adds one sample with the given labels.
+    Family& add(MetricLabels labels, double value);
+
+    /// Summary families only: one quantile row
+    /// (name{...,quantile="0.99"} value).
+    Family& add_quantile(MetricLabels labels, double quantile, double value);
+
+    /// Summary families only: the _count and _sum rows for one label set.
+    Family& add_summary_totals(MetricLabels labels, std::uint64_t count,
+                               double sum);
+
+   private:
+    friend class MetricsRegistry;
+    Family(MetricsRegistry* registry, std::size_t index)
+        : registry_(registry), index_(index) {}
+    MetricsRegistry* registry_;
+    std::size_t index_;
+  };
+
+  /// Declares a family; families render in declaration order. `name` must
+  /// be a valid Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) — callers
+  /// pass literals, this is not revalidated.
+  Family family(std::string name, std::string help, MetricType type);
+
+  /// The full exposition text (HELP/TYPE headers + samples).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Sample {
+    std::string suffix;  ///< appended to the family name ("", "_sum", ...)
+    MetricLabels labels;
+    bool integral = false;  ///< render value without decimal point
+    double value = 0.0;
+    std::uint64_t ivalue = 0;
+  };
+  struct FamilyData {
+    std::string name;
+    std::string help;
+    MetricType type = MetricType::kGauge;
+    std::vector<Sample> samples;
+  };
+
+  std::vector<FamilyData> families_;
+};
+
+}  // namespace mfdfp::obs

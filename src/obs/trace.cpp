@@ -1,0 +1,284 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mfdfp::obs {
+
+namespace {
+
+[[nodiscard]] std::size_t round_up_pow2(std::size_t value) noexcept {
+  std::size_t pow2 = 1;
+  while (pow2 < value) pow2 <<= 1;
+  return pow2;
+}
+
+/// Process-unique recorder ids: the thread-local ring cache keys on these,
+/// so a new recorder constructed at a dead one's address never aliases it.
+std::atomic<std::uint64_t> next_recorder_id{1};
+
+/// Per-thread ring cache: one entry per (recorder, thread) pair this thread
+/// has recorded under. Entries for destroyed recorders are inert — their id
+/// never matches again — and the list stays tiny (one per live recorder).
+struct TlsRingRef {
+  std::uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local std::vector<TlsRingRef> tls_rings;
+
+void json_escape(std::ostringstream& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const char c = *p;
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(TraceConfig config)
+    : ring_capacity_(round_up_pow2(std::max<std::size_t>(
+          config.events_per_thread, 2))),
+      recorder_id_(next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+const char* TraceRecorder::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  const auto it = interned_.find(name);
+  if (it != interned_.end()) return it->second;
+  interned_storage_.emplace_back(name);
+  const std::string& stored = interned_storage_.back();
+  interned_.emplace(std::string_view{stored}, stored.c_str());
+  return stored.c_str();
+}
+
+TraceRecorder::Ring* TraceRecorder::ring_for_this_thread() noexcept {
+  for (const TlsRingRef& ref : tls_rings) {
+    if (ref.recorder_id == recorder_id_) {
+      return static_cast<Ring*>(ref.ring);
+    }
+  }
+  Ring* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    rings_.push_back(std::make_unique<Ring>(ring_capacity_, next_tid_++));
+    ring = rings_.back().get();
+  }
+  tls_rings.push_back(TlsRingRef{recorder_id_, ring});
+  return ring;
+}
+
+void TraceRecorder::set_thread_label(const char* label) noexcept {
+  if (!enabled()) return;
+  Ring* ring = ring_for_this_thread();
+  ring->label.store(label, std::memory_order_relaxed);
+}
+
+void TraceRecorder::record(TraceEventKind kind, const char* name,
+                           const char* cat, std::int64_t ts_us,
+                           std::int64_t dur_us, std::uint64_t id,
+                           const char* arg_name, std::int64_t arg_value,
+                           const char* model) noexcept {
+  if (name == nullptr) return;
+  Ring* ring = ring_for_this_thread();
+  // Single producer per ring: only this thread appends, so a plain
+  // read-modify-write of head is race-free; the release store below
+  // publishes the slot to concurrent exporters.
+  const std::uint64_t pos = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[pos & (ring->slots.size() - 1)];
+
+  // Seqlock write: odd while in flight, new even value once published.
+  const std::uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.cat.store(cat, std::memory_order_relaxed);
+  slot.ts_us.store(ts_us, std::memory_order_relaxed);
+  slot.dur_us.store(dur_us, std::memory_order_relaxed);
+  slot.id.store(id, std::memory_order_relaxed);
+  slot.arg_name.store(arg_name, std::memory_order_relaxed);
+  slot.arg_value.store(arg_value, std::memory_order_relaxed);
+  slot.model.store(model, std::memory_order_relaxed);
+  slot.seq.store(seq + 2, std::memory_order_release);
+  ring->head.store(pos + 1, std::memory_order_release);
+}
+
+TraceRecorder::Stats TraceRecorder::stats() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  Stats s;
+  s.threads = rings_.size();
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    s.recorded += head;
+    if (head > ring->slots.size()) s.dropped += head - ring->slots.size();
+  }
+  return s;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& ring : rings_) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        std::min<std::uint64_t>(head, ring->slots.size());
+    const char* label = ring->label.load(std::memory_order_relaxed);
+    for (std::uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring->slots[i & (ring->slots.size() - 1)];
+      // Seqlock read: skip slots caught mid-write or overwritten while we
+      // were reading (sequence moved). Payload loads are relaxed atomics,
+      // sandwiched between two acquire loads of the sequence.
+      const std::uint32_t seq_before =
+          slot.seq.load(std::memory_order_acquire);
+      if (seq_before & 1u) continue;
+      TraceEvent event;
+      event.kind = static_cast<TraceEventKind>(
+          slot.kind.load(std::memory_order_relaxed));
+      event.name = slot.name.load(std::memory_order_relaxed);
+      event.cat = slot.cat.load(std::memory_order_relaxed);
+      event.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      event.dur_us = slot.dur_us.load(std::memory_order_relaxed);
+      event.id = slot.id.load(std::memory_order_relaxed);
+      event.arg_name = slot.arg_name.load(std::memory_order_relaxed);
+      event.arg_value = slot.arg_value.load(std::memory_order_relaxed);
+      event.model = slot.model.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_acquire) != seq_before) continue;
+      if (event.name == nullptr) continue;
+      event.tid = ring->tid;
+      event.thread_label = label;
+      out.push_back(event);
+    }
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<TraceEvent> all = events();
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+
+  // Thread-name metadata first, one per labeled ring.
+  {
+    std::vector<std::pair<std::uint64_t, const char*>> labels;
+    {
+      std::lock_guard<std::mutex> lock(registry_mutex_);
+      for (const auto& ring : rings_) {
+        const char* label = ring->label.load(std::memory_order_relaxed);
+        if (label != nullptr) labels.emplace_back(ring->tid, label);
+      }
+    }
+    for (const auto& [tid, label] : labels) {
+      comma();
+      out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+          << ",\"args\":{\"name\":\"";
+      json_escape(out, label);
+      out << "\"}}";
+    }
+  }
+
+  for (const TraceEvent& event : all) {
+    comma();
+    out << "{\"name\":\"";
+    json_escape(out, event.name);
+    out << "\"";
+    if (event.cat != nullptr) {
+      out << ",\"cat\":\"";
+      json_escape(out, event.cat);
+      out << "\"";
+    }
+    switch (event.kind) {
+      case TraceEventKind::kSpan:
+        out << ",\"ph\":\"X\",\"dur\":" << event.dur_us;
+        break;
+      case TraceEventKind::kInstant:
+        out << ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case TraceEventKind::kCounter:
+        out << ",\"ph\":\"C\"";
+        break;
+    }
+    out << ",\"ts\":" << event.ts_us << ",\"pid\":1,\"tid\":" << event.tid;
+    out << ",\"args\":{";
+    bool first_arg = true;
+    const auto arg_comma = [&] {
+      if (!first_arg) out << ",";
+      first_arg = false;
+    };
+    if (event.kind == TraceEventKind::kCounter) {
+      arg_comma();
+      out << "\"value\":" << event.arg_value;
+    } else if (event.arg_name != nullptr) {
+      arg_comma();
+      out << "\"";
+      json_escape(out, event.arg_name);
+      out << "\":" << event.arg_value;
+    }
+    if (event.id != 0) {
+      arg_comma();
+      out << "\"request\":" << event.id;
+    }
+    if (event.model != nullptr) {
+      arg_comma();
+      out << "\"model\":\"";
+      json_escape(out, event.model);
+      out << "\"";
+    }
+    out << "}}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out.str();
+}
+
+bool TraceRecorder::write_chrome_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return false;
+  file << to_chrome_json();
+  file.flush();
+  return static_cast<bool>(file);
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& ring : rings_) {
+    for (Slot& slot : ring->slots) {
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.seq.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_release);
+  }
+}
+
+TraceRecorder& trace() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+}  // namespace mfdfp::obs

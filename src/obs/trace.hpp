@@ -1,0 +1,212 @@
+// Request-lifecycle tracing: a low-overhead, bounded-memory TraceRecorder
+// whose output loads straight into Perfetto / chrome://tracing.
+//
+// Design constraints, in order:
+//   1. Off by default, and nearly free when off: every instrumentation site
+//      guards on enabled() — one relaxed atomic load — before touching
+//      anything else.
+//   2. Lock-free append when on: each recording thread owns a private ring
+//      buffer (registered on first use), so record() never contends with
+//      another recorder. Publication uses a per-slot seqlock whose payload
+//      fields are relaxed atomics — a concurrent export skips slots it
+//      catches mid-write instead of blocking the writer, and the whole
+//      scheme is clean under ThreadSanitizer (no raw racing loads).
+//   3. Bounded memory: rings are fixed-capacity (TraceConfig.events_per_
+//      thread, rounded up to a power of two) and wrap, overwriting the
+//      oldest events; dropped() counts the overwrites. A trace therefore
+//      always holds the *most recent* window of activity.
+//
+// Event payloads are pointers to immortal strings plus integers — no
+// allocation on the hot path. Dynamic names (model names, device names) are
+// interned once per deployment via intern(), which returns a stable
+// const char* for the recorder's lifetime.
+//
+// Export (to_chrome_json / write_chrome_json) emits the Chrome trace-event
+// JSON array format: complete spans (ph "X", microsecond timestamps on the
+// util::Stopwatch::now_us clock), instant events (ph "i") for point events
+// like weight reloads and admission sheds, and counter tracks (ph "C") for
+// queue depth. Load the file at https://ui.perfetto.dev or
+// chrome://tracing. Export runs concurrently with recording and returns a
+// consistent-enough view for a trace tool: per-ring, the last
+// min(recorded, capacity) fully-published events.
+//
+// The serving stack records through the process-global trace() recorder;
+// tests may also instantiate private recorders.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mfdfp::obs {
+
+/// What one trace event renders as (Chrome trace-event "ph" values).
+enum class TraceEventKind : std::uint8_t {
+  kSpan = 0,     ///< complete event "X": ts + dur
+  kInstant = 1,  ///< instant event "i": point in time
+  kCounter = 2,  ///< counter event "C": value sampled at ts
+};
+
+struct TraceConfig {
+  /// Ring capacity per recording thread, in events; rounded up to a power
+  /// of two. Memory is ~96 bytes per slot, allocated lazily on a thread's
+  /// first record under an enabled recorder.
+  std::size_t events_per_thread = 8192;
+};
+
+/// One exported event (the decoded, stable-string view a reader gets).
+struct TraceEvent {
+  TraceEventKind kind = TraceEventKind::kSpan;
+  const char* name = nullptr;   ///< never null for published events
+  const char* cat = nullptr;    ///< category ("serve", "pu", ...); may be null
+  std::int64_t ts_us = 0;       ///< util::Stopwatch::now_us clock
+  std::int64_t dur_us = 0;      ///< spans only
+  std::uint64_t id = 0;         ///< correlation id (request id); 0 = none
+  const char* arg_name = nullptr;  ///< optional integer arg
+  std::int64_t arg_value = 0;
+  const char* model = nullptr;  ///< optional model tag (interned)
+  std::uint64_t tid = 0;        ///< recording thread's display id
+  const char* thread_label = nullptr;  ///< set via set_thread_label
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceConfig config = {});
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// The master switch. Disabled recorders drop record_* calls at the cost
+  /// of one relaxed load; already-buffered events stay readable.
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns a stable, immortal (for the recorder's lifetime) copy of
+  /// `name`, deduplicated by content. Call once per dynamic name (deploy
+  /// time), never on the hot path — interning takes a mutex.
+  [[nodiscard]] const char* intern(std::string_view name);
+
+  /// Records a complete span [ts_us, ts_us + dur_us). No-op when disabled.
+  void record_span(const char* name, const char* cat, std::int64_t ts_us,
+                   std::int64_t dur_us, std::uint64_t id = 0,
+                   const char* arg_name = nullptr, std::int64_t arg_value = 0,
+                   const char* model = nullptr) noexcept {
+    if (!enabled()) return;
+    record(TraceEventKind::kSpan, name, cat, ts_us, dur_us, id, arg_name,
+           arg_value, model);
+  }
+
+  /// Records a point event (shed, reject, weight reload). No-op when
+  /// disabled.
+  void record_instant(const char* name, const char* cat, std::int64_t ts_us,
+                      std::uint64_t id = 0, const char* arg_name = nullptr,
+                      std::int64_t arg_value = 0,
+                      const char* model = nullptr) noexcept {
+    if (!enabled()) return;
+    record(TraceEventKind::kInstant, name, cat, ts_us, 0, id, arg_name,
+           arg_value, model);
+  }
+
+  /// Records a counter sample (rendered as a counter track named `name`).
+  /// No-op when disabled.
+  void record_counter(const char* name, std::int64_t ts_us,
+                      std::int64_t value) noexcept {
+    if (!enabled()) return;
+    record(TraceEventKind::kCounter, name, nullptr, ts_us, 0, 0, nullptr,
+           value, nullptr);
+  }
+
+  /// Names this thread's track in the exported trace ("cnn/r0/w1",
+  /// "pu/edge"). Takes effect from the thread's next published event;
+  /// no-op when the recorder is disabled and the thread has no ring yet.
+  void set_thread_label(const char* label) noexcept;
+
+  struct Stats {
+    std::uint64_t recorded = 0;  ///< events ever appended
+    std::uint64_t dropped = 0;   ///< oldest events overwritten by wraparound
+    std::size_t threads = 0;     ///< rings registered
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// All currently-published events, oldest-first per thread (the reader's
+  /// snapshot; concurrent writers may be appending past it).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// The buffered events as a Chrome trace-event JSON object
+  /// ({"traceEvents": [...]}), sorted by timestamp, with thread-name
+  /// metadata records for labeled threads.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Writes to_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path) const;
+
+  /// Resets every ring and the drop counters. Callers must ensure no thread
+  /// is concurrently recording (disable first, then quiesce) — clear() is
+  /// for tests and between-phase resets, not live use.
+  void clear();
+
+ private:
+  struct Slot {
+    /// Seqlock: odd while the owner writes, even once published; readers
+    /// retry/skip on odd or changed sequence. Payload fields are relaxed
+    /// atomics so the (benign) read-during-write race is defined behaviour.
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint8_t> kind{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<std::int64_t> ts_us{0};
+    std::atomic<std::int64_t> dur_us{0};
+    std::atomic<std::uint64_t> id{0};
+    std::atomic<const char*> arg_name{nullptr};
+    std::atomic<std::int64_t> arg_value{0};
+    std::atomic<const char*> model{nullptr};
+  };
+
+  struct Ring {
+    explicit Ring(std::size_t capacity_pow2, std::uint64_t display_tid)
+        : slots(capacity_pow2), tid(display_tid) {}
+    std::vector<Slot> slots;           ///< size is a power of two
+    std::atomic<std::uint64_t> head{0};  ///< next append position, monotonic
+    std::uint64_t tid = 0;             ///< display id in the export
+    std::atomic<const char*> label{nullptr};  ///< set_thread_label
+  };
+
+  void record(TraceEventKind kind, const char* name, const char* cat,
+              std::int64_t ts_us, std::int64_t dur_us, std::uint64_t id,
+              const char* arg_name, std::int64_t arg_value,
+              const char* model) noexcept;
+
+  /// This thread's ring under this recorder, created on first use
+  /// (thread-local cache keyed by a process-unique recorder id, so
+  /// distinct recorders — and recorder reincarnations at the same address —
+  /// never alias).
+  [[nodiscard]] Ring* ring_for_this_thread() noexcept;
+
+  std::atomic<bool> enabled_{false};
+  const std::size_t ring_capacity_;  ///< power of two
+  const std::uint64_t recorder_id_;  ///< process-unique, never reused
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::uint64_t next_tid_ = 1;
+
+  mutable std::mutex intern_mutex_;
+  std::deque<std::string> interned_storage_;
+  std::unordered_map<std::string_view, const char*> interned_;
+};
+
+/// The process-global recorder the serving stack records through.
+[[nodiscard]] TraceRecorder& trace();
+
+}  // namespace mfdfp::obs

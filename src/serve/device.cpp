@@ -40,13 +40,28 @@ SimulatedAcceleratorBackend::SimulatedAcceleratorBackend(
           static_cast<double>(layer.input_bytes + layer.output_bytes);
     }
 
+    // The profiler snapshots the member's cycle/traffic tables, so build it
+    // before the descriptor moves into the executor.
+    profilers_.push_back(std::make_unique<hw::LayerProfiler>(
+        desc, in_c, in_h, in_w, accel_));
     executors_.push_back(
         std::make_unique<hw::AcceleratorExecutor>(std::move(desc)));
+    executors_.back()->set_profiler(profilers_.back().get());
   }
   member_ptrs_.reserve(executors_.size());
   for (const auto& executor : executors_) {
     member_ptrs_.push_back(executor.get());
   }
+}
+
+std::vector<hw::LayerProfile> SimulatedAcceleratorBackend::layer_profiles()
+    const {
+  std::vector<hw::LayerProfile> profiles;
+  profiles.reserve(profilers_.size());
+  for (const auto& profiler : profilers_) {
+    profiles.push_back(profiler->snapshot());
+  }
+  return profiles;
 }
 
 BatchResult SimulatedAcceleratorBackend::execute(

@@ -52,6 +52,7 @@
 
 #include "hw/cost_model.hpp"
 #include "hw/executor.hpp"
+#include "hw/layer_profile.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mfdfp::serve {
@@ -187,6 +188,14 @@ class ExecutionBackend {
   /// own counters already tell the whole story.
   virtual void bind_load_provider(
       std::function<double()> /*outstanding_us*/) const {}
+
+  /// Accumulated per-layer profiles of this backend's model members, one
+  /// LayerProfile per member in member order (see hw/layer_profile.hpp).
+  /// Safe concurrently with execute(). Backends without a simulated
+  /// accelerator behind them (test stubs) return an empty vector.
+  [[nodiscard]] virtual std::vector<hw::LayerProfile> layer_profiles() const {
+    return {};
+  }
 };
 
 /// Production backend: the paper's simulated accelerator. Owns the
@@ -220,6 +229,7 @@ class SimulatedAcceleratorBackend final : public ExecutionBackend {
   [[nodiscard]] std::size_t member_count() const noexcept override {
     return executors_.size();
   }
+  [[nodiscard]] std::vector<hw::LayerProfile> layer_profiles() const override;
 
   [[nodiscard]] const hw::AcceleratorConfig& accel() const noexcept {
     return accel_;
@@ -230,6 +240,9 @@ class SimulatedAcceleratorBackend final : public ExecutionBackend {
   hw::AcceleratorConfig accel_;
   std::vector<std::unique_ptr<hw::AcceleratorExecutor>> executors_;
   std::vector<const hw::AcceleratorExecutor*> member_ptrs_;
+  /// One profiling sink per member, attached to the matching executor; the
+  /// executors report passes into them from every worker thread.
+  std::vector<std::unique_ptr<hw::LayerProfiler>> profilers_;
 
   // Per-sample modeled costs, precomputed from the members' workloads.
   double sample_us_ = 0.0;         ///< max over members, / speed_factor

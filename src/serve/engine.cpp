@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mfdfp::serve {
@@ -61,6 +62,7 @@ InferenceEngine::InferenceEngine(std::vector<hw::QNetDesc> members,
       queue_(config_.queue_capacity, config_.priority_scheduling),
       batcher_(queue_,
                BatcherConfig{config_.max_batch, config_.max_wait_us}) {
+  init_trace_identity();
   workers_.start(config_.workers,
                  [this](std::size_t index) { worker_main(index); });
 }
@@ -79,8 +81,22 @@ InferenceEngine::InferenceEngine(
   if (backend_->member_count() == 0) {
     throw std::invalid_argument("InferenceEngine: backend has no members");
   }
+  init_trace_identity();
   workers_.start(config_.workers,
                  [this](std::size_t index) { worker_main(index); });
+}
+
+void InferenceEngine::init_trace_identity() {
+  obs::TraceRecorder& rec = obs::trace();
+  const std::string model =
+      config_.model_name.empty() ? std::string("model") : config_.model_name;
+  trace_model_ = rec.intern(model);
+  for (std::size_t lane = 0; lane < kPriorityClasses; ++lane) {
+    const char* lane_name = priority_name(static_cast<Priority>(lane));
+    trace_lane_[lane] = rec.intern(lane_name);
+    trace_queue_counter_[lane] = rec.intern(model + "/" + config_.device.name +
+                                            "/queue_depth/" + lane_name);
+  }
 }
 
 InferenceEngine::~InferenceEngine() { stop(); }
@@ -127,6 +143,9 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
   // not rejected — instead of occupying a queue slot until batch formation.
   if (request.deadline_us != 0 && request.enqueue_us >= request.deadline_us) {
     stats_.record_timeout();
+    obs::trace().record_instant("expired_at_submit", "admission",
+                                request.enqueue_us, request.id, nullptr, 0,
+                                trace_model_);
     fail_request(request, StatusCode::kDeadlineExceeded,
                  "expired at submit");
     return future;
@@ -146,6 +165,10 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
         static_cast<double>(request.deadline_us - request.enqueue_us);
     if (est_delay_us > budget_us) {
       stats_.record_shedded();
+      obs::trace().record_instant("shed", "admission", request.enqueue_us,
+                                  request.id, "est_delay_us",
+                                  static_cast<std::int64_t>(est_delay_us),
+                                  trace_model_);
       fail_request(request, StatusCode::kShedded,
                    "estimated queue delay exceeds deadline budget");
       return future;
@@ -161,11 +184,24 @@ std::future<Response> InferenceEngine::submit(Tensor sample,
     outstanding_[lane].fetch_sub(1, std::memory_order_relaxed);
     // push() left the request intact on failure, promise included.
     stats_.record_rejected();
+    obs::trace().record_instant("reject_queue_full", "admission",
+                                request.enqueue_us, request.id, nullptr, 0,
+                                trace_model_);
     if (queue_.closed()) {
       fail_request(request, StatusCode::kShuttingDown, "engine stopped");
     } else {
       fail_request(request, StatusCode::kQueueFull, "queue at capacity");
     }
+    return future;
+  }
+  // Admitted: sample the lane's queue-depth counter track. size(lane) takes
+  // the queue lock, so only pay it while tracing is on.
+  obs::TraceRecorder& rec = obs::trace();
+  if (rec.enabled()) {
+    rec.record_counter(
+        trace_queue_counter_[lane], util::Stopwatch::now_us(),
+        static_cast<std::int64_t>(
+            queue_.size(static_cast<Priority>(lane))));
   }
   return future;
 }
@@ -176,12 +212,24 @@ void InferenceEngine::stop() {
   workers_.join();
 }
 
-void InferenceEngine::worker_main(std::size_t /*worker_index*/) {
+void InferenceEngine::worker_main(std::size_t worker_index) {
   hw::ExecScratch scratch;
   std::vector<Request> batch, expired;
+  bool thread_labeled = false;
   while (batcher_.next_batch(batch, expired)) {
+    obs::TraceRecorder& rec = obs::trace();
+    if (!thread_labeled && rec.enabled()) {
+      // Lazy: label this worker's trace track the first time tracing is on.
+      rec.set_thread_label(rec.intern(
+          std::string(trace_model_) + "/" + config_.device.name + "/w" +
+          std::to_string(worker_index)));
+      thread_labeled = true;
+    }
     for (const Request& request : expired) {
       stats_.record_timeout();
+      rec.record_instant("expired_in_queue", "admission",
+                         util::Stopwatch::now_us(), request.id, nullptr, 0,
+                         trace_model_);
       outstanding_[static_cast<std::size_t>(request.priority)].fetch_sub(
           1, std::memory_order_relaxed);
     }
@@ -210,6 +258,7 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
   const Tensor& logits = result.logits;
   const double sim_us = result.sim_accel_us;
   const double sim_dma = result.sim_dma_bytes;
+  const std::int64_t executed_us = util::Stopwatch::now_us();
   if (config_.paced_execution && !backend_->paces_execution()) {
     // Hold the batch until this device would have finished it, so
     // wall-clock behaviour (throughput, tails, replica scaling) tracks the
@@ -222,6 +271,25 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
     }
   }
   const std::int64_t done_us = util::Stopwatch::now_us();
+
+  obs::TraceRecorder& rec = obs::trace();
+  if (rec.enabled()) {
+    // Each rider's queue wait as its own span (categorized by lane), then
+    // the batch's device pass and any pacing hold on this worker's track.
+    for (const Request& request : batch) {
+      rec.record_span("queue_wait",
+                      trace_lane_[static_cast<std::size_t>(request.priority)],
+                      request.enqueue_us, formed_us - request.enqueue_us,
+                      request.id, nullptr, 0, trace_model_);
+    }
+    rec.record_span("device_pass", "serve", formed_us,
+                    executed_us - formed_us, batch.front().id, "samples",
+                    static_cast<std::int64_t>(batch_size), trace_model_);
+    if (done_us > executed_us) {
+      rec.record_span("pace", "serve", executed_us, done_us - executed_us, 0,
+                      nullptr, 0, trace_model_);
+    }
+  }
   const std::size_t classes = logits.shape().dim(1);
 
   // Record the batch before fulfilling any promise: a client that has seen

@@ -209,6 +209,13 @@ class InferenceEngine {
     return backend_->member_count();
   }
 
+  /// Accumulated per-layer profiles of the backend's model members, one per
+  /// member (see hw/layer_profile.hpp). Empty for injected stub backends
+  /// without a simulated accelerator behind them. Safe while serving.
+  [[nodiscard]] std::vector<hw::LayerProfile> layer_profiles() const {
+    return backend_->layer_profiles();
+  }
+
   /// Modeled latency of one sample on this engine's device, microseconds
   /// (max over ensemble members — one processing unit each — divided by the
   /// device's speed_factor).
@@ -244,6 +251,11 @@ class InferenceEngine {
   /// queue_/batcher_ see the resolved values.
   [[nodiscard]] static DeployConfig resolve_config(DeployConfig config);
 
+  /// Interns this deployment's trace names (model tag, per-lane categories,
+  /// queue-depth counter tracks) into the process-global obs::trace()
+  /// recorder, so the serving hot path only ever passes stable pointers.
+  void init_trace_identity();
+
   void worker_main(std::size_t worker_index);
   void execute_batch(std::vector<Request>& batch, hw::ExecScratch& scratch);
 
@@ -261,6 +273,12 @@ class InferenceEngine {
   std::atomic<bool> stopped_{false};
   /// Accepted-but-unresolved requests per priority class (see outstanding()).
   std::array<std::atomic<std::size_t>, kPriorityClasses> outstanding_{};
+
+  // Interned trace identity (init_trace_identity; stable for the global
+  // recorder's lifetime).
+  const char* trace_model_ = nullptr;
+  std::array<const char*, kPriorityClasses> trace_lane_{};
+  std::array<const char*, kPriorityClasses> trace_queue_counter_{};
 };
 
 }  // namespace mfdfp::serve

@@ -207,6 +207,22 @@ std::size_t ReplicaSet::queue_depth() const {
   return total;
 }
 
+std::size_t ReplicaSet::queue_depth(Priority priority) const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->queue_depth(priority);
+  }
+  return total;
+}
+
+std::size_t ReplicaSet::outstanding(Priority priority) const noexcept {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) {
+    total += replica->outstanding(priority);
+  }
+  return total;
+}
+
 double ReplicaSet::estimated_queue_delay_us() const {
   double best = std::numeric_limits<double>::infinity();
   for (const auto& replica : replicas_) {
@@ -224,6 +240,15 @@ StatsSnapshot ReplicaSet::aggregated_snapshot() const {
   // snapshotted (percentiles and all) a second time just for four scalars.
   std::vector<ServerStats::PartTotals> totals;
   StatsSnapshot total = ServerStats::aggregate(parts, &totals);
+
+  // Live per-lane gauges: what is queued / outstanding right now, as
+  // opposed to the window aggregates above.
+  total.live_gauges = true;
+  for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+    const Priority lane = static_cast<Priority>(cls);
+    total.queue_depth_now[cls] = queue_depth(lane);
+    total.outstanding_now[cls] = outstanding(lane);
+  }
 
   // Attach one utilization row per *physical* device — only the set knows
   // which DeviceSpec each replica executes on. Replicas placed on the same

@@ -104,6 +104,15 @@ class ReplicaSet {
   /// Queued requests summed over replicas.
   [[nodiscard]] std::size_t queue_depth() const;
 
+  /// Queued requests of one priority lane, summed over replicas (live
+  /// gauge; the source of mfdfp_queue_depth and the stats tables' "now"
+  /// rows).
+  [[nodiscard]] std::size_t queue_depth(Priority priority) const;
+
+  /// Accepted-but-unresolved requests of one priority lane — queued plus
+  /// executing — summed over replicas (live gauge).
+  [[nodiscard]] std::size_t outstanding(Priority priority) const noexcept;
+
   /// Delay a new submission would see: the *minimum* estimated queue delay
   /// over replicas (each priced on its own device), since routing sends it
   /// to the least-loaded one.

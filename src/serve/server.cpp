@@ -1,7 +1,11 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "serve/shared_device.hpp"
 
 namespace mfdfp::serve {
 
@@ -54,6 +58,160 @@ StatsSnapshot ModelServer::stats(const std::string& model) const {
 std::string ModelServer::stats_table(const std::string& model) const {
   const std::shared_ptr<ReplicaSet> set = registry_.find(model);
   return set ? set->stats_table(model) : std::string{};
+}
+
+std::string ModelServer::export_metrics() const {
+  using obs::MetricLabels;
+  using obs::MetricType;
+  obs::MetricsRegistry registry;
+
+  auto completed = registry.family("mfdfp_requests_completed_total",
+                                   "Requests completed OK", MetricType::kCounter);
+  auto timed_out = registry.family("mfdfp_requests_timed_out_total",
+                                   "Requests that missed their deadline",
+                                   MetricType::kCounter);
+  auto rejected = registry.family(
+      "mfdfp_requests_rejected_total",
+      "Requests refused at submit (bad input, queue full, shutdown)",
+      MetricType::kCounter);
+  auto shedded = registry.family(
+      "mfdfp_requests_shedded_total",
+      "kBatch requests shed by admission control or the batch quota",
+      MetricType::kCounter);
+  auto shed_ratio = registry.family(
+      "mfdfp_shed_ratio", "Shedded over all resolved requests, this window",
+      MetricType::kGauge);
+  auto throughput = registry.family("mfdfp_throughput_rps",
+                                    "Completed requests per second",
+                                    MetricType::kGauge);
+  auto batches = registry.family("mfdfp_batches_total", "Executed batches",
+                                 MetricType::kCounter);
+  auto mean_batch = registry.family("mfdfp_mean_batch_size",
+                                    "Mean executed batch size",
+                                    MetricType::kGauge);
+  auto e2e = registry.family(
+      "mfdfp_e2e_latency_us",
+      "End-to-end request latency, microseconds (wall clock)",
+      MetricType::kSummary);
+  auto queue_wait = registry.family("mfdfp_queue_wait_us",
+                                    "Queue wait before batch formation, "
+                                    "microseconds",
+                                    MetricType::kSummary);
+  auto queue_depth = registry.family(
+      "mfdfp_queue_depth", "Requests queued right now, per priority lane",
+      MetricType::kGauge);
+  auto outstanding = registry.family(
+      "mfdfp_outstanding_requests",
+      "Requests accepted but unresolved (queued + executing), per lane",
+      MetricType::kGauge);
+  auto dma_bytes = registry.family("mfdfp_sim_dma_bytes_total",
+                                   "Modeled DMA traffic, bytes",
+                                   MetricType::kCounter);
+  auto device_util = registry.family(
+      "mfdfp_device_utilization",
+      "Modeled accelerator busy fraction per device row",
+      MetricType::kGauge);
+  auto device_busy = registry.family("mfdfp_device_busy_us_total",
+                                     "Modeled accelerator busy time per "
+                                     "device row, microseconds",
+                                     MetricType::kCounter);
+  auto device_completed = registry.family(
+      "mfdfp_device_completed_total",
+      "Requests served per device row", MetricType::kCounter);
+  auto pu_passes = registry.family("mfdfp_pu_passes_total",
+                                   "Shared-PU device passes executed",
+                                   MetricType::kCounter);
+  auto pu_cobatched = registry.family(
+      "mfdfp_pu_cobatched_passes_total",
+      "Shared-PU passes that mixed two or more models",
+      MetricType::kCounter);
+  auto pu_cobatch_ratio = registry.family(
+      "mfdfp_pu_cobatch_ratio", "Co-batched over all shared-PU passes",
+      MetricType::kGauge);
+  auto pu_switches = registry.family("mfdfp_pu_model_switches_total",
+                                     "Shared-PU weight reloads paid",
+                                     MetricType::kCounter);
+  auto pu_busy = registry.family("mfdfp_pu_busy_us_total",
+                                 "Shared-PU modeled busy time, microseconds",
+                                 MetricType::kCounter);
+  auto pu_util = registry.family("mfdfp_pu_utilization",
+                                 "Shared-PU busy over wall fraction",
+                                 MetricType::kGauge);
+
+  // One shared PU may sit behind several models; emit its series once.
+  std::vector<const SharedDevice*> seen_pus;
+
+  for (const ModelHandle& handle : registry_.models()) {
+    const std::shared_ptr<ReplicaSet> set = registry_.find(handle.name);
+    if (!set) continue;  // undeployed between models() and find()
+    const StatsSnapshot s = set->aggregated_snapshot();
+    const MetricLabels model{{"model", handle.name}};
+
+    completed.add(model, static_cast<double>(s.completed));
+    timed_out.add(model, static_cast<double>(s.timed_out));
+    rejected.add(model, static_cast<double>(s.rejected));
+    shedded.add(model, static_cast<double>(s.shedded));
+    const std::uint64_t resolved =
+        s.completed + s.timed_out + s.rejected + s.shedded;
+    shed_ratio.add(model, resolved == 0
+                              ? 0.0
+                              : static_cast<double>(s.shedded) /
+                                    static_cast<double>(resolved));
+    throughput.add(model, s.throughput_rps);
+    batches.add(model, static_cast<double>(s.batches));
+    mean_batch.add(model, s.mean_batch_size);
+    dma_bytes.add(model, s.sim_dma_bytes);
+
+    e2e.add_quantile(model, 0.5, static_cast<double>(s.e2e_p50_us))
+        .add_quantile(model, 0.95, static_cast<double>(s.e2e_p95_us))
+        .add_quantile(model, 0.99, static_cast<double>(s.e2e_p99_us))
+        .add_summary_totals(model, s.completed,
+                            s.e2e_mean_us * static_cast<double>(s.completed));
+    queue_wait
+        .add_quantile(model, 0.5, static_cast<double>(s.queue_p50_us))
+        .add_quantile(model, 0.99, static_cast<double>(s.queue_p99_us));
+
+    for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+      const Priority lane = static_cast<Priority>(cls);
+      MetricLabels labels = model;
+      labels.emplace_back("lane", priority_name(lane));
+      queue_depth.add(labels, static_cast<double>(s.queue_depth_now[cls]));
+      outstanding.add(std::move(labels),
+                      static_cast<double>(s.outstanding_now[cls]));
+    }
+
+    for (const DeviceUtilizationRow& row : s.devices) {
+      MetricLabels labels = model;
+      labels.emplace_back("device", row.device);
+      device_util.add(labels, row.sim_accel_utilization);
+      device_busy.add(labels, row.sim_accel_busy_us);
+      device_completed.add(std::move(labels),
+                           static_cast<double>(row.completed));
+    }
+
+    for (std::size_t index = 0; index < set->replica_count(); ++index) {
+      const std::shared_ptr<SharedDevice>& pu = set->device(index).shared;
+      if (pu == nullptr ||
+          std::find(seen_pus.begin(), seen_pus.end(), pu.get()) !=
+              seen_pus.end()) {
+        continue;
+      }
+      seen_pus.push_back(pu.get());
+      const SharedDeviceSnapshot d = pu->snapshot();
+      const MetricLabels labels{{"device", d.device}};
+      pu_passes.add(labels, static_cast<double>(d.passes));
+      pu_cobatched.add(labels, static_cast<double>(d.cobatched_passes));
+      pu_cobatch_ratio.add(labels,
+                           d.passes == 0
+                               ? 0.0
+                               : static_cast<double>(d.cobatched_passes) /
+                                     static_cast<double>(d.passes));
+      pu_switches.add(labels, static_cast<double>(d.model_switches));
+      pu_busy.add(labels, d.busy_us);
+      pu_util.add(labels, d.utilization);
+    }
+  }
+  return registry.render();
 }
 
 }  // namespace mfdfp::serve

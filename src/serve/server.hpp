@@ -86,6 +86,15 @@ class ModelServer {
   /// Per-model stats snapshot, aggregated across the model's replicas
   /// (empty snapshot for unknown names).
   [[nodiscard]] StatsSnapshot stats(const std::string& model) const;
+
+  /// The whole server's metrics in Prometheus text exposition format: one
+  /// scrape-ready dump covering every deployed model — request outcome
+  /// counters, throughput/utilization/latency-summary series, live
+  /// per-lane queue-depth and outstanding gauges, per-device rows, and
+  /// (deduplicated across models) shared-PU pass/co-batch/switch series.
+  /// Metric names are documented in docs/observability.md. Safe to call
+  /// concurrently with serving; each call takes fresh snapshots.
+  [[nodiscard]] std::string export_metrics() const;
   /// Per-model stats tables — aggregated, plus a per-replica breakdown for
   /// multi-replica deployments — ready to print ("" for unknown names).
   [[nodiscard]] std::string stats_table(const std::string& model) const;

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "util/table.hpp"
 
@@ -66,6 +67,7 @@ std::shared_ptr<const SharedDeviceBackend> SharedDevice::attach(
   tenant->in_h = config.in_h;
   tenant->in_w = config.in_w;
   tenant->model = config.model_name.empty() ? "model" : config.model_name;
+  tenant->trace_model = obs::trace().intern(tenant->model);
   tenant->label = tenant->model + "@" +
                   std::to_string(config.model_version) + "/r" +
                   std::to_string(config.replica_index);
@@ -204,6 +206,7 @@ std::vector<SharedDevice::Job*> SharedDevice::next_pass_locked() {
 
 void SharedDevice::dispatch_main() {
   hw::ExecScratch scratch;
+  bool thread_labeled = false;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     const auto lanes_pending = [this] {
@@ -275,13 +278,40 @@ void SharedDevice::dispatch_main() {
     }
     lock.unlock();
 
+    obs::TraceRecorder& rec = obs::trace();
+    const bool tracing = rec.enabled();
+    if (tracing && !thread_labeled) {
+      // Lazy: name this PU's dispatcher track the first time tracing is on.
+      rec.set_thread_label(rec.intern("pu/" + spec_.name));
+      thread_labeled = true;
+    }
+
     const std::int64_t pass_start = util::Stopwatch::now_us();
     // Execute every sub-batch through its own tenant's bit-accurate
-    // executors — pass composition can never change the logits.
+    // executors, group by group — pass composition can never change the
+    // logits.
     double compute_total_us = 0.0;
-    for (Job* job : pass) {
-      job->result = job->owner->sim->execute(*job->stacked, scratch);
-      compute_total_us += job->result.sim_accel_us;
+    for (const Group& group : groups) {
+      const std::int64_t group_start = util::Stopwatch::now_us();
+      if (tracing && group.switched) {
+        rec.record_instant("weight_reload", "pu", group_start, 0,
+                           "switch_us",
+                           static_cast<std::int64_t>(group.tenant->switch_us),
+                           group.tenant->trace_model);
+      }
+      for (std::size_t i = group.begin; i < group.end; ++i) {
+        Job* job = pass[i];
+        job->result = job->owner->sim->execute(*job->stacked, scratch);
+        compute_total_us += job->result.sim_accel_us;
+      }
+      if (tracing) {
+        // One span per model riding this pass: co-batch membership is
+        // visible as adjacent tenant_group spans under one pu_pass.
+        rec.record_span("tenant_group", "pu", group_start,
+                        util::Stopwatch::now_us() - group_start, 0, "samples",
+                        static_cast<std::int64_t>(group.samples),
+                        group.tenant->trace_model);
+      }
     }
     const double pass_cost_us =
         config_.pass_overhead_us + switch_total_us + compute_total_us;
@@ -298,12 +328,22 @@ void SharedDevice::dispatch_main() {
       }
     }
 
+    if (tracing) {
+      rec.record_span("pu_pass", "pu", pass_start,
+                      util::Stopwatch::now_us() - pass_start, 0, "samples",
+                      static_cast<std::int64_t>(pass_samples));
+    }
+
     lock.lock();
     std::size_t distinct_models = 0;
     for (std::size_t g = 0; g < groups.size(); ++g) {
       if (g == 0 || groups[g].tenant->model != groups[g - 1].tenant->model) {
         ++distinct_models;
       }
+    }
+    if (tracing && distinct_models > 1) {
+      rec.record_instant("cobatched_pass", "pu", pass_start, 0, "models",
+                         static_cast<std::int64_t>(distinct_models));
     }
     ++passes_;
     if (distinct_models > 1) ++cobatched_passes_;
@@ -458,6 +498,13 @@ double SharedDeviceBackend::cross_tenant_backlog_us() const noexcept {
 void SharedDeviceBackend::bind_load_provider(
     std::function<double()> outstanding_us) const {
   device_->bind_tenant_load(*this, std::move(outstanding_us));
+}
+
+std::vector<hw::LayerProfile> SharedDeviceBackend::layer_profiles() const {
+  // tenant_->sim is released only by ~SharedDeviceBackend, so it is alive
+  // for the lifetime of every caller holding this backend.
+  return tenant_->sim ? tenant_->sim->layer_profiles()
+                      : std::vector<hw::LayerProfile>{};
 }
 
 }  // namespace mfdfp::serve

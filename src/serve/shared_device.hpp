@@ -236,6 +236,8 @@ class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
   struct Tenant {
     std::string label;
     std::string model;
+    /// Interned model tag for trace events (stable; set at attach).
+    const char* trace_model = nullptr;
     std::unique_ptr<SimulatedAcceleratorBackend> sim;  ///< null once detached
     std::size_t in_c = 0, in_h = 0, in_w = 0;
     double switch_us = 0.0;  ///< weight-reload penalty for this model
@@ -345,6 +347,10 @@ class SharedDeviceBackend final : public ExecutionBackend {
   /// Forwards to SharedDevice::bind_tenant_load for this tenant.
   void bind_load_provider(
       std::function<double()> outstanding_us) const override;
+  /// This tenant's member profiles on the shared PU (empty after the
+  /// tenant's executors were released — i.e. never while the owning engine
+  /// is alive).
+  [[nodiscard]] std::vector<hw::LayerProfile> layer_profiles() const override;
 
   [[nodiscard]] const std::shared_ptr<SharedDevice>& shared_device()
       const noexcept {

@@ -190,6 +190,14 @@ std::string render_stats_tables(const StatsSnapshot& s,
                    std::to_string(s.depth_p50) + "/" +
                        std::to_string(s.depth_p99) + "/" +
                        std::to_string(s.depth_max)});
+  if (s.live_gauges) {
+    for (std::size_t cls = 0; cls < kPriorityClasses; ++cls) {
+      const char* name = priority_name(static_cast<Priority>(cls));
+      latency.add_row({std::string(name) + " queued/outstanding now",
+                       std::to_string(s.queue_depth_now[cls]) + "/" +
+                           std::to_string(s.outstanding_now[cls])});
+    }
+  }
   out << latency.to_string() << "\n";
 
   util::TablePrinter batching(title + " — batching");

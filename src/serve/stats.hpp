@@ -95,6 +95,16 @@ struct StatsSnapshot {
   /// plain engine snapshots). render_stats_tables prints them as a
   /// "devices" table when present.
   std::vector<DeviceUtilizationRow> devices;
+
+  // Live per-priority-lane gauges sampled at snapshot time (unlike every
+  // field above, these are *now* values, not window aggregates). Filled by
+  // ReplicaSet::aggregated_snapshot — `live_gauges` stays false on plain
+  // ServerStats snapshots, where nobody sampled the queues — and rendered
+  // in the stats tables / exported as mfdfp_queue_depth /
+  // mfdfp_outstanding_requests gauges.
+  bool live_gauges = false;
+  std::array<std::size_t, kPriorityClasses> queue_depth_now{};
+  std::array<std::size_t, kPriorityClasses> outstanding_now{};
 };
 
 class ServerStats {

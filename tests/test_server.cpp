@@ -337,5 +337,119 @@ TEST(ServerStats, TracksPerPriorityTailsAndSheds) {
   EXPECT_EQ(snap.shedded, 2u);
 }
 
+TEST(ModelServer, ExportMetricsCoversEveryDeployedModel) {
+  ModelServer server;
+  server.deploy("alpha", {make_test_qnet(31, false)}, small_deploy_config());
+  server.deploy("beta", {make_test_qnet(32, true)}, small_deploy_config());
+
+  util::Rng rng{5};
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.submit("alpha", random_image(rng)));
+    futures.push_back(server.submit("beta", random_image(rng)));
+  }
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, StatusCode::kOk);
+  }
+
+  const std::string metrics = server.export_metrics();
+  // Prometheus exposition headers.
+  EXPECT_NE(metrics.find("# HELP mfdfp_requests_completed_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE mfdfp_requests_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE mfdfp_throughput_rps gauge"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE mfdfp_e2e_latency_us summary"),
+            std::string::npos);
+  // One series per model, and the right values for the counters.
+  EXPECT_NE(metrics.find("mfdfp_requests_completed_total{model=\"alpha\"} 4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("mfdfp_requests_completed_total{model=\"beta\"} 4"),
+            std::string::npos);
+  // Summary series carry quantiles plus _sum/_count.
+  EXPECT_NE(
+      metrics.find("mfdfp_e2e_latency_us{model=\"alpha\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(metrics.find("mfdfp_e2e_latency_us_count{model=\"alpha\"} 4"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("mfdfp_e2e_latency_us_sum{model=\"alpha\"}"),
+            std::string::npos);
+  // Live per-lane gauges exist for both lanes of both models.
+  for (const char* model : {"alpha", "beta"}) {
+    for (const char* lane : {"interactive", "batch"}) {
+      const std::string series = std::string("mfdfp_queue_depth{model=\"") +
+                                 model + "\",lane=\"" + lane + "\"}";
+      EXPECT_NE(metrics.find(series), std::string::npos) << series;
+    }
+  }
+  // Per-device rows.
+  EXPECT_NE(metrics.find("mfdfp_device_completed_total{model=\"alpha\""),
+            std::string::npos);
+
+  // Undeployed models drop out of the next scrape.
+  server.undeploy("beta");
+  const std::string after = server.export_metrics();
+  EXPECT_EQ(after.find("model=\"beta\""), std::string::npos);
+  EXPECT_NE(after.find("model=\"alpha\""), std::string::npos);
+}
+
+TEST(ModelServer, ExportMetricsOnAnEmptyServerIsWellFormed) {
+  ModelServer server;
+  const std::string metrics = server.export_metrics();
+  // Family headers render; no model series do.
+  EXPECT_NE(metrics.find("# TYPE mfdfp_requests_completed_total counter"),
+            std::string::npos);
+  EXPECT_EQ(metrics.find("model=\""), std::string::npos);
+}
+
+TEST(ModelServer, LiveLaneGaugesTrackParkedWork) {
+  ModelServer server;
+  DeployConfig config = small_deploy_config();
+  // Park the worker in a long coalescing wait so submissions stay
+  // outstanding and the gauges are deterministic.
+  config.workers = 1;
+  config.max_batch = 256;
+  config.max_wait_us = 300'000;
+  server.deploy("parked", {make_test_qnet(33, false)}, config);
+
+  util::Rng rng{6};
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(server.submit("parked", random_image(rng)));
+  }
+
+  // All three accepted, none resolved: the interactive lane owes 3.
+  const std::shared_ptr<ReplicaSet> set = server.replica_set("parked");
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->outstanding(Priority::kInteractive), 3u);
+  EXPECT_EQ(set->outstanding(Priority::kBatch), 0u);
+
+  const StatsSnapshot snap = server.stats("parked");
+  EXPECT_TRUE(snap.live_gauges);
+  const std::size_t interactive =
+      static_cast<std::size_t>(Priority::kInteractive);
+  EXPECT_EQ(snap.outstanding_now[interactive], 3u);
+
+  // Both render paths carry the gauges: the stats table...
+  const std::string table = server.stats_table("parked");
+  EXPECT_NE(table.find("interactive queued/outstanding now"),
+            std::string::npos);
+  EXPECT_NE(table.find("batch queued/outstanding now"), std::string::npos);
+  // ...and the Prometheus dump.
+  const std::string metrics = server.export_metrics();
+  EXPECT_NE(
+      metrics.find(
+          "mfdfp_outstanding_requests{model=\"parked\",lane=\"interactive\"} 3"),
+      std::string::npos)
+      << metrics;
+
+  server.shutdown();  // drains; every parked future resolves
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, StatusCode::kOk);
+  }
+  EXPECT_EQ(set->outstanding(Priority::kInteractive), 0u);
+}
+
 }  // namespace
 }  // namespace mfdfp::serve

@@ -1,0 +1,340 @@
+// TraceRecorder: ring wraparound semantics, intern stability, Chrome
+// trace-event JSON export, and concurrent recording against a live
+// exporter. The concurrency tests are the reason this file runs under
+// ThreadSanitizer and ASan+UBSan in CI (see ci.yml) — the seqlock slots
+// must stay clean with writers and the exporter racing.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mfdfp::obs {
+namespace {
+
+/// Minimal structural validator for the exported JSON: every brace/bracket
+/// outside a string literal balances, every string terminates, and the
+/// document is one object. Not a full parser — CI's bench-smoke job runs
+/// the real one (python3 json.load) on an actual serving trace.
+bool json_is_balanced(const std::string& text) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST(TraceRecorder, DisabledByDefaultAndRecordsNothing) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  recorder.record_span("span", "cat", 10, 5);
+  recorder.record_instant("instant", "cat", 11);
+  recorder.record_counter("counter", 12, 3);
+  EXPECT_TRUE(recorder.events().empty());
+  const TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded, 0u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.threads, 0u);
+}
+
+TEST(TraceRecorder, RecordsSpanInstantAndCounter) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record_span("device_pass", "serve", 100, 40, 7, "samples", 8,
+                       "cnn");
+  recorder.record_instant("shed", "serve", 150, 9, "est_delay_us", 1234);
+  recorder.record_counter("cnn/queue_depth", 160, 3);
+
+  const std::vector<TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+
+  EXPECT_EQ(events[0].kind, TraceEventKind::kSpan);
+  EXPECT_STREQ(events[0].name, "device_pass");
+  EXPECT_STREQ(events[0].cat, "serve");
+  EXPECT_EQ(events[0].ts_us, 100);
+  EXPECT_EQ(events[0].dur_us, 40);
+  EXPECT_EQ(events[0].id, 7u);
+  EXPECT_STREQ(events[0].arg_name, "samples");
+  EXPECT_EQ(events[0].arg_value, 8);
+  EXPECT_STREQ(events[0].model, "cnn");
+
+  EXPECT_EQ(events[1].kind, TraceEventKind::kInstant);
+  EXPECT_STREQ(events[1].name, "shed");
+  EXPECT_EQ(events[1].id, 9u);
+  EXPECT_EQ(events[1].arg_value, 1234);
+
+  EXPECT_EQ(events[2].kind, TraceEventKind::kCounter);
+  EXPECT_STREQ(events[2].name, "cnn/queue_depth");
+  EXPECT_EQ(events[2].arg_value, 3);
+
+  const TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded, 3u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.threads, 1u);
+}
+
+TEST(TraceRecorder, RingWrapsKeepingTheLatestWindow) {
+  TraceRecorder recorder{TraceConfig{.events_per_thread = 8}};
+  recorder.set_enabled(true);
+  const std::size_t total = 24;  // 3x capacity
+  for (std::size_t i = 0; i < total; ++i) {
+    recorder.record_span("span", "t", static_cast<std::int64_t>(i), 1);
+  }
+
+  const std::vector<TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first within the surviving window: ts 16..23.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_us, static_cast<std::int64_t>(16 + i));
+  }
+
+  const TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded, 24u);
+  EXPECT_EQ(stats.dropped, 16u);
+}
+
+TEST(TraceRecorder, CapacityRoundsUpToAPowerOfTwo) {
+  TraceRecorder recorder{TraceConfig{.events_per_thread = 5}};
+  recorder.set_enabled(true);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    recorder.record_instant("i", "t", i);
+  }
+  // 5 rounds up to 8, so all eight events fit without a drop.
+  EXPECT_EQ(recorder.events().size(), 8u);
+  EXPECT_EQ(recorder.stats().dropped, 0u);
+}
+
+TEST(TraceRecorder, InternDedupesByContentAndStaysStable) {
+  TraceRecorder recorder;
+  const char* first = recorder.intern("model/npu0/w1");
+  const char* again = recorder.intern("model/npu0/w1");
+  const char* other = recorder.intern("model/npu0/w2");
+  EXPECT_EQ(first, again);  // same pointer, not just same content
+  EXPECT_NE(first, other);
+  EXPECT_STREQ(first, "model/npu0/w1");
+  EXPECT_STREQ(other, "model/npu0/w2");
+
+  // Interning more strings must not invalidate earlier pointers.
+  std::vector<const char*> pointers;
+  for (int i = 0; i < 200; ++i) {
+    pointers.push_back(recorder.intern("name-" + std::to_string(i)));
+  }
+  EXPECT_STREQ(first, "model/npu0/w1");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(pointers[static_cast<std::size_t>(i)],
+              recorder.intern("name-" + std::to_string(i)));
+  }
+}
+
+TEST(TraceRecorder, DisablingKeepsBufferedEventsReadable) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record_span("kept", "t", 1, 1);
+  recorder.set_enabled(false);
+  recorder.record_span("after-disable", "t", 2, 1);
+
+  const std::vector<TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "kept");
+}
+
+TEST(TraceRecorder, ClearResetsRingsAndCounters) {
+  TraceRecorder recorder{TraceConfig{.events_per_thread = 4}};
+  recorder.set_enabled(true);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    recorder.record_span("s", "t", i, 1);
+  }
+  EXPECT_GT(recorder.stats().dropped, 0u);
+
+  recorder.set_enabled(false);
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.stats().recorded, 0u);
+  EXPECT_EQ(recorder.stats().dropped, 0u);
+
+  // The ring survives a clear and keeps recording.
+  recorder.set_enabled(true);
+  recorder.record_span("fresh", "t", 99, 1);
+  const std::vector<TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "fresh");
+}
+
+TEST(TraceRecorder, ChromeJsonIsStructuredAndCarriesEveryEventKind) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.set_thread_label(recorder.intern("cnn/npu0/w0"));
+  recorder.record_span("device_pass", "serve", 100, 40, 7, "samples", 8,
+                       "cnn");
+  recorder.record_instant("weight_reload", "pu", 150, 0, "switch_us", 20);
+  recorder.record_counter("queue_depth", 160, 3);
+
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Thread-name metadata for the labeled ring.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("cnn/npu0/w0"), std::string::npos);
+  // One record per phase type.
+  EXPECT_NE(json.find("\"ph\":\"X\",\"dur\":40"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Args: integer arg, correlation id, model tag, counter value.
+  EXPECT_NE(json.find("\"samples\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"request\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"cnn\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":3"), std::string::npos);
+}
+
+TEST(TraceRecorder, JsonEscapesSpecialCharacters) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  const char* tricky = recorder.intern("quote\"back\\slash\nnewline");
+  recorder.record_instant(tricky, "t", 1);
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+TEST(TraceRecorder, WriteChromeJsonRoundTripsThroughAFile) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record_span("s", "t", 1, 2);
+
+  const std::string path =
+      testing::TempDir() + "/mfdfp_test_trace_out.json";
+  ASSERT_TRUE(recorder.write_chrome_json(path));
+  std::ifstream file(path);
+  ASSERT_TRUE(file.good());
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  EXPECT_EQ(buffer.str(), recorder.to_chrome_json());
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, WriteChromeJsonFailsCleanlyOnBadPath) {
+  TraceRecorder recorder;
+  EXPECT_FALSE(recorder.write_chrome_json("/nonexistent-dir/trace.json"));
+}
+
+// The TSan target: eight writers hammer their rings (wrapping many times
+// over) while the main thread continuously exports. Nothing here may race;
+// the exporter simply skips slots it catches mid-write.
+TEST(TraceRecorder, ConcurrentRecordingUnderALiveExporter) {
+  constexpr std::size_t kWriters = 8;
+  constexpr std::size_t kPerWriter = 4096;
+  constexpr std::size_t kCapacity = 256;
+
+  TraceRecorder recorder{TraceConfig{.events_per_thread = kCapacity}};
+  recorder.set_enabled(true);
+
+  std::vector<const char*> names;
+  names.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    names.push_back(recorder.intern("writer-" + std::to_string(w)));
+  }
+
+  std::atomic<bool> done{false};
+  std::thread exporter([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::vector<TraceEvent> snapshot = recorder.events();
+      for (const TraceEvent& event : snapshot) {
+        // Every published event must decode to a fully-formed payload.
+        ASSERT_NE(event.name, nullptr);
+        ASSERT_GE(event.ts_us, 0);
+      }
+      const std::string json = recorder.to_chrome_json();
+      ASSERT_FALSE(json.empty());
+      (void)recorder.stats();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      recorder.set_thread_label(names[w]);
+      for (std::size_t i = 0; i < kPerWriter; ++i) {
+        recorder.record_span(names[w], "t", static_cast<std::int64_t>(i), 1,
+                             i, "iteration", static_cast<std::int64_t>(i));
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  done.store(true, std::memory_order_relaxed);
+  exporter.join();
+
+  const TraceRecorder::Stats stats = recorder.stats();
+  EXPECT_EQ(stats.recorded, kWriters * kPerWriter);
+  EXPECT_EQ(stats.dropped, kWriters * (kPerWriter - kCapacity));
+  EXPECT_EQ(stats.threads, kWriters);
+
+  // Quiescent now: every ring holds exactly its capacity of final events.
+  const std::vector<TraceEvent> events = recorder.events();
+  EXPECT_EQ(events.size(), kWriters * kCapacity);
+  std::set<const char*> seen;
+  for (const TraceEvent& event : events) seen.insert(event.name);
+  EXPECT_EQ(seen.size(), kWriters);
+  EXPECT_TRUE(json_is_balanced(recorder.to_chrome_json()));
+}
+
+TEST(TraceRecorder, DistinctRecordersKeepSeparateRingsOnOneThread) {
+  TraceRecorder a;
+  TraceRecorder b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  a.record_span("in-a", "t", 1, 1);
+  b.record_span("in-b", "t", 2, 1);
+  b.record_span("in-b", "t", 3, 1);
+
+  ASSERT_EQ(a.events().size(), 1u);
+  EXPECT_STREQ(a.events()[0].name, "in-a");
+  EXPECT_EQ(b.events().size(), 2u);
+  EXPECT_EQ(a.stats().threads, 1u);
+  EXPECT_EQ(b.stats().threads, 1u);
+}
+
+TEST(GlobalTrace, IsAStableSingletonAndStartsDisabled) {
+  TraceRecorder& first = trace();
+  TraceRecorder& second = trace();
+  EXPECT_EQ(&first, &second);
+  // Serving instrumentation relies on tracing being opt-in.
+  EXPECT_FALSE(first.enabled());
+}
+
+}  // namespace
+}  // namespace mfdfp::obs
