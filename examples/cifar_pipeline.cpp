@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/converter.hpp"
+#include "core/hw_eval.hpp"
 #include "data/cifar10_loader.hpp"
 #include "data/synthetic.hpp"
 #include "hw/cycle_model.hpp"
@@ -105,6 +106,16 @@ int main(int argc, char** argv) {
           quant::quantize_input(converted.spec, sample), nn::Mode::kEval));
   std::printf("\naccelerator bit-exactness on 64 images: max|diff| = %g\n",
               diff);
+
+  // Full-test-set accuracy through the compiled batched hardware path —
+  // bit-identical to the software MF-DFP number above by construction.
+  const nn::EvalResult hw_eval = core::evaluate_qnets_compiled(
+      std::span<const hw::QNetDesc>(&qnet, 1), dataset.test.images,
+      dataset.test.labels);
+  std::printf("compiled hardware eval over %zu test images: top-1 %.2f%% "
+              "(software MF-DFP %.2f%%)\n",
+              hw_eval.sample_count, 100.0 * hw_eval.top1,
+              100.0 * (1.0 - converted.final_error));
 
   const auto work = hw::workload_from_qnet(qnet, 3, in_h, in_w);
   const hw::AcceleratorConfig mf = hw::mfdfp_config(1);

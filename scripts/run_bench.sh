@@ -5,9 +5,10 @@
 # numbers (ablation_multimodel), the replica-scaling numbers
 # (ablation_replicas), the heterogeneous-device scaling + routing numbers
 # (ablation_hetero), the shared-PU cross-model batching numbers
-# (ablation_shared_pu), and the tracing-overhead + layer-profile
-# reconciliation numbers (ablation_trace_overhead). See docs/benchmarks.md
-# for every bench's enforced thresholds.
+# (ablation_shared_pu), the tracing-overhead + layer-profile
+# reconciliation numbers (ablation_trace_overhead), and the deploy-time
+# compiler speedup/ablation numbers (ablation_compile). See
+# docs/benchmarks.md for every bench's enforced thresholds.
 #
 # Failure discipline: every bench must exit 0 AND write a non-empty JSON
 # fragment, or this script fails loudly with a nonzero exit. The stamp is
@@ -22,7 +23,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 benches=(serve_throughput ablation_multimodel ablation_replicas
-         ablation_hetero ablation_shared_pu ablation_trace_overhead)
+         ablation_hetero ablation_shared_pu ablation_trace_overhead
+         ablation_compile)
 
 for target in "${benches[@]}"; do
   if [[ ! -x "$build_dir/$target" ]]; then
@@ -57,6 +59,7 @@ run_bench ablation_replicas "$tmp_dir/replicas.json"
 run_bench ablation_hetero "$tmp_dir/hetero.json"
 run_bench ablation_shared_pu "$tmp_dir/shared_pu.json"
 run_bench ablation_trace_overhead "$tmp_dir/trace_overhead.json"
+run_bench ablation_compile "$tmp_dir/compile.json"
 
 git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)"
 stamp="$tmp_dir/BENCH_serve.json"
@@ -80,6 +83,9 @@ stamp="$tmp_dir/BENCH_serve.json"
   echo "  ,"
   echo "  \"trace_overhead\":"
   sed 's/^/  /' "$tmp_dir/trace_overhead.json"
+  echo "  ,"
+  echo "  \"compile\":"
+  sed 's/^/  /' "$tmp_dir/compile.json"
   echo "}"
 } > "$stamp"
 

@@ -1,0 +1,96 @@
+// PassPipeline: the deploy-time lowering of a QNetDesc into a CompiledPlan.
+//
+// Mirrors the graph-transformer/strategy-manager shape of NPU compilers: a
+// `lower` stage turns the layer list into 1:1 PlanSteps with fully derived
+// geometry, then named passes rewrite the step list in order:
+//
+//   fuse        conv→ReLU(→pool) and fc→ReLU chains collapse into one step.
+//               Pool folds only onto a step that already fused its ReLU —
+//               a pool *before* the activation (CIFAR-10 block 1) is not a
+//               legal fusion target and stays a standalone generic step.
+//   specialize  SupportsGeometry: a conv whose gather table has no padded
+//               tap (pad == 0) selects the no-padding fast kernel variant;
+//               everything else keeps the generic padded-tap fallback.
+//   strategy    im2col vs direct per conv layer from a host-cost model over
+//               the same LayerWork quantities the CycleModel prices
+//               (see choose_conv_algo); overridable for ablation.
+//   tables      predecode +/-2^(7+e) integer weights and bias codes, build
+//               the per-pixel gather tables.
+//   verify      re-derive the shape/radix chain step by step and check every
+//               lowered payload against it; throws std::runtime_error on
+//               any mismatch — a plan that verifies cannot index out of
+//               bounds or mix radices at run time.
+//
+// compile_qnet() is the front door; the pipeline object is exposed so tests
+// can run truncated/custom pipelines.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/plan.hpp"
+#include "hw/qnet.hpp"
+
+namespace mfdfp::compile {
+
+class PassPipeline {
+ public:
+  /// A pass reads the source module (the desc) and rewrites the plan.
+  using PassFn = std::function<void(const hw::QNetDesc&, CompiledPlan&)>;
+
+  /// Appends a named pass; run() executes passes in insertion order.
+  void add(std::string name, PassFn fn);
+
+  /// Runs every pass over `draft` in order, recording names in passes_run,
+  /// and refreshes the plan's stats. Throws whatever a pass throws (the
+  /// verifier uses std::runtime_error).
+  [[nodiscard]] CompiledPlan run(const hw::QNetDesc& desc,
+                                 CompiledPlan draft) const;
+
+  [[nodiscard]] std::size_t pass_count() const noexcept {
+    return passes_.size();
+  }
+
+  /// The standard deploy pipeline for `options` (ablated passes are simply
+  /// not added; the verifier always is).
+  [[nodiscard]] static PassPipeline standard(const CompileOptions& options);
+
+ private:
+  struct Pass {
+    std::string name;
+    PassFn fn;
+  };
+  std::vector<Pass> passes_;
+};
+
+/// Lowers `desc` 1:1 into an unoptimized CompiledPlan draft (geometry and
+/// radix chain fully derived; no fusion, tables, or strategy yet). Throws
+/// std::invalid_argument on a desc the geometry walk rejects.
+[[nodiscard]] CompiledPlan lower_qnet(const hw::QNetDesc& desc,
+                                      std::size_t in_c, std::size_t in_h,
+                                      std::size_t in_w);
+
+/// The individual passes, exposed for truncated pipelines in tests.
+void pass_fuse(CompiledPlan& plan);
+void pass_specialize(CompiledPlan& plan);
+void pass_strategy(CompiledPlan& plan, ConvStrategy strategy);
+void pass_build_tables(const hw::QNetDesc& desc, CompiledPlan& plan);
+void pass_verify(const CompiledPlan& plan);
+
+/// The strategy pass's host-cost choice for one conv step: im2col amortizes
+/// one patch materialization (gather of `patch` taps) over `out_c` dense
+/// branch-free dot products, direct re-walks the gather table per output
+/// channel. Auto picks im2col once the amortization wins.
+[[nodiscard]] ConvAlgo choose_conv_algo(std::size_t out_c, std::size_t patch,
+                                        ConvStrategy strategy);
+
+/// Full deploy-time compilation: lower + the standard pipeline for
+/// `options`. The returned plan is immutable and safe to share across
+/// replicas/tenants/threads.
+[[nodiscard]] std::shared_ptr<const CompiledPlan> compile_qnet(
+    const hw::QNetDesc& desc, std::size_t in_c, std::size_t in_h,
+    std::size_t in_w, const CompileOptions& options = {});
+
+}  // namespace mfdfp::compile

@@ -1,0 +1,84 @@
+// PlanCache: deploy-time cache of CompiledPlans keyed by
+// (model content hash, input geometry, device class, compile options).
+//
+// N replicas of one deployment — and shared-PU tenants serving the same
+// model — compile once and share one immutable artifact instead of N
+// engine-local predecodes. The registry owns one cache per server
+// (ModelRegistry fills DeployConfig.plan_cache when the caller leaves it
+// null), so hot redeploys of identical content also hit.
+//
+// Sharing semantics (the contract tests/test_compile.cpp's redeploy-storm
+// test enforces): the cache hands out shared_ptr<const CompiledPlan> and
+// eviction/clear() only drop the cache's own reference. A plan pinned by an
+// in-flight request of an old version keeps serving, bit-identically,
+// regardless of how many newer versions were deployed or evicted behind it
+// — plans are never mutated after the pipeline returns them.
+//
+// Thread-safety: all members are safe for concurrent callers (one mutex;
+// compilation runs under it — deploy-time work, contention is not a
+// concern).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "compile/passes.hpp"
+#include "compile/plan.hpp"
+#include "hw/qnet.hpp"
+
+namespace mfdfp::compile {
+
+struct PlanCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;     ///< compilations performed
+  std::uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+  std::size_t entries = 0;      ///< currently cached
+};
+
+class PlanCache {
+ public:
+  /// `max_entries` bounds the cache (least-recently-used eviction);
+  /// 0 = unbounded. Evicted plans stay alive for whoever still holds them.
+  explicit PlanCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for (content_hash(desc), geometry,
+  /// `device_key`, `options`), compiling on miss. `device_key` names the
+  /// device *class* the plan is compiled for (the serving layer passes the
+  /// speed-normalized spec, so same-speed replicas share and heterogeneous
+  /// placements get per-class entries).
+  [[nodiscard]] std::shared_ptr<const CompiledPlan> get_or_compile(
+      const hw::QNetDesc& desc, std::size_t in_c, std::size_t in_h,
+      std::size_t in_w, const std::string& device_key,
+      const CompileOptions& options);
+
+  [[nodiscard]] PlanCacheStats stats() const;
+
+  /// Drops every cached entry (outstanding shared_ptrs keep serving).
+  /// Dropped entries do not count as evictions.
+  void clear();
+
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledPlan> plan;
+    std::uint64_t last_used = 0;
+  };
+
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t clock_ = 0;
+  PlanCacheStats stats_;
+};
+
+}  // namespace mfdfp::compile

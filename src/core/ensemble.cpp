@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/hw_eval.hpp"
 #include "nn/metrics.hpp"
 #include "util/logging.hpp"
 
@@ -59,10 +60,12 @@ nn::EvalResult evaluate_mfdfp_ensemble(EnsembleResult& ensemble,
   if (ensemble.members.empty()) {
     throw std::invalid_argument("evaluate_mfdfp_ensemble: empty ensemble");
   }
-  const tensor::Tensor quantized =
-      quant::quantize_input(ensemble.members.front().spec, images);
-  const std::vector<nn::Network*> nets = ensemble.member_networks();
-  return nn::evaluate_ensemble(nets, quantized, labels);
+  // Compiled fast path: the plan executor is bit-identical to running the
+  // fake-quantized float members on quantize_input()-ed images (the input
+  // encode subsumes quantize_input), so accuracy is unchanged — it just
+  // arrives batched through the same artifact deploy() serves.
+  return evaluate_qnets_compiled(extract_member_qnets(ensemble), images,
+                                 labels);
 }
 
 }  // namespace mfdfp::core

@@ -48,8 +48,9 @@ class EnsembleBuilder {
   EnsembleConfig config_;
 };
 
-/// Evaluates an ensemble on (images, labels), quantizing inputs with the
-/// first member's spec (members share the input format by construction).
+/// Evaluates an ensemble on (images, labels) through the compiled batched
+/// hardware path (core/hw_eval.hpp) — bit-identical to the fake-quantized
+/// float members on inputs quantized with their shared input format.
 [[nodiscard]] nn::EvalResult evaluate_mfdfp_ensemble(
     EnsembleResult& ensemble, const tensor::Tensor& images,
     std::span<const int> labels);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "hw/kernels.hpp"
 #include "hw/layer_profile.hpp"
 
 namespace mfdfp::hw {
@@ -105,88 +106,14 @@ std::int32_t neuron_dot(std::span<const std::int8_t> input_codes,
   return acc.route();
 }
 
-/// Layer geometry shared by the reference and fast conv kernels.
-struct ConvGeometry {
-  std::size_t batch, ih, iw, oh, ow, patch;
-};
-
-ConvGeometry conv_geometry(const QConv& conv, const Shape& in_shape,
-                           const char* who) {
-  if (in_shape.rank() != 4 || in_shape.c() != conv.in_c) {
-    throw std::invalid_argument(std::string(who) + ": bad input shape");
-  }
-  ConvGeometry g;
-  g.batch = in_shape.n();
-  g.ih = in_shape.h();
-  g.iw = in_shape.w();
-  g.oh = (g.ih + 2 * conv.pad - conv.kernel) / conv.stride + 1;
-  g.ow = (g.iw + 2 * conv.pad - conv.kernel) / conv.stride + 1;
-  g.patch = conv.in_c * conv.kernel * conv.kernel;
-  return g;
-}
-
-/// In-place ReLU + refrac stage, shared by the reference and fast layer
-/// loops (the run_batch == run bit-identity depends on there being exactly
-/// one implementation of this rounding).
-void apply_relu(CodeTensor& input, int out_frac) {
-  for (std::int8_t& code : input.codes) {
-    const std::int32_t rectified = std::max<std::int32_t>(0, code);
-    code = static_cast<std::int8_t>(
-        convert_code(rectified, input.frac, out_frac));
-  }
-  input.frac = out_frac;
-}
-
-/// In-place flatten (+ refrac when the output format differs), shared by
-/// both layer loops for the same reason as apply_relu.
-void apply_flatten(CodeTensor& input, int out_frac) {
-  std::size_t features = 1;
-  for (std::size_t axis = 1; axis < input.shape.rank(); ++axis) {
-    features *= input.shape.dim(axis);
-  }
-  input.shape = Shape{input.shape.dim(0), features};
-  if (out_frac != input.frac) {
-    for (std::int8_t& code : input.codes) {
-      code = static_cast<std::int8_t>(
-          convert_code(code, input.frac, out_frac));
-    }
-    input.frac = out_frac;
-  }
-}
-
-/// Fast-path neuron: exact integer dot product with the +/-2^(7+e)
-/// multiplier table, then the same Accumulator & Routing arithmetic as the
-/// reference path (one accumulate of the full sum — integer addition is
-/// exact, so the result matches tile-wise accumulation bit for bit).
-std::int32_t fast_neuron_dot(const std::int8_t* codes,
-                             const std::size_t* index, std::size_t base,
-                             const std::int32_t* weights, std::size_t count,
-                             int in_frac, int out_frac,
-                             std::int32_t bias_code) {
-  std::int64_t sum = 0;
-  if (index != nullptr) {
-    for (std::size_t k = 0; k < count; ++k) {
-      if (index[k] == SIZE_MAX) continue;  // padded tap -> zero input
-      sum += static_cast<std::int64_t>(codes[base + index[k]]) * weights[k];
-    }
-  } else {
-    for (std::size_t k = 0; k < count; ++k) {
-      sum += static_cast<std::int64_t>(codes[k]) * weights[k];
-    }
-  }
-  AccumulatorRouting acc(in_frac, out_frac, bias_code);
-  acc.accumulate(sum);
-  return acc.route();
-}
-
 }  // namespace
 
 void AcceleratorExecutor::run_conv(const QConv& conv,
                                    std::span<const Pow2Weight> weights,
                                    const CodeTensor& input, CodeTensor& out,
                                    std::vector<std::size_t>& index) const {
-  const auto [batch, ih, iw, oh, ow, patch] =
-      conv_geometry(conv, input.shape, "run_conv");
+  const auto [batch, ih, iw, oh, ow, patch] = conv_geometry(
+      conv.in_c, conv.kernel, conv.stride, conv.pad, input.shape, "run_conv");
   const std::size_t k = conv.kernel;
 
   out.shape = Shape{batch, conv.out_c, oh, ow};
@@ -263,63 +190,7 @@ void AcceleratorExecutor::run_fc(const QFullyConnected& fc,
 
 void AcceleratorExecutor::run_pool(const QPool& pool, const CodeTensor& input,
                                    CodeTensor& out) const {
-  const Shape& s = input.shape;
-  if (s.rank() != 4) throw std::invalid_argument("run_pool: rank-4 required");
-  const std::size_t ih = s.h(), iw = s.w();
-  const std::size_t oh = (ih + 2 * pool.pad - pool.window) / pool.stride + 1;
-  const std::size_t ow = (iw + 2 * pool.pad - pool.window) / pool.stride + 1;
-
-  out.shape = Shape{s.n(), s.c(), oh, ow};
-  out.frac = pool.out_frac;
-  out.codes.resize(out.shape.size());
-
-  const DfpFormat out_format{kInputBits, pool.out_frac};
-  const float inv_area =
-      1.0f / static_cast<float>(pool.window * pool.window);
-  std::size_t out_i = 0;
-  for (std::size_t n = 0; n < s.n(); ++n) {
-    for (std::size_t c = 0; c < s.c(); ++c) {
-      const std::size_t plane = (n * s.c() + c) * ih * iw;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
-          bool found = false;
-          std::int32_t best = 0;
-          std::int64_t sum = 0;
-          for (std::size_t ky = 0; ky < pool.window; ++ky) {
-            const std::ptrdiff_t iy =
-                static_cast<std::ptrdiff_t>(oy * pool.stride + ky) -
-                static_cast<std::ptrdiff_t>(pool.pad);
-            if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(ih)) continue;
-            for (std::size_t kx = 0; kx < pool.window; ++kx) {
-              const std::ptrdiff_t ix =
-                  static_cast<std::ptrdiff_t>(ox * pool.stride + kx) -
-                  static_cast<std::ptrdiff_t>(pool.pad);
-              if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(iw)) continue;
-              const std::int32_t code =
-                  input.codes[plane + static_cast<std::size_t>(iy) * iw +
-                              static_cast<std::size_t>(ix)];
-              if (!found || code > best) best = code;
-              found = true;
-              sum += code;
-            }
-          }
-          if (pool.is_max) {
-            out.codes[out_i] = static_cast<std::int8_t>(
-                convert_code(found ? best : 0, input.frac, pool.out_frac));
-          } else {
-            // Mirror the float model exactly: float mean of decoded taps
-            // (exact for window^2 * 127 < 2^24), then re-encode.
-            const float value =
-                static_cast<float>(std::ldexp(static_cast<double>(sum),
-                                              -input.frac)) *
-                inv_area;
-            out.codes[out_i] =
-                static_cast<std::int8_t>(out_format.encode(value));
-          }
-        }
-      }
-    }
-  }
+  pool_forward(pool, input, out);
 }
 
 void AcceleratorExecutor::run_conv_fast(const QConv& conv,
@@ -328,8 +199,8 @@ void AcceleratorExecutor::run_conv_fast(const QConv& conv,
                                         CodeTensor& out,
                                         std::vector<std::size_t>& index) const {
   const auto [batch, ih, iw, oh, ow, patch] =
-      conv_geometry(conv, input.shape, "run_conv_fast");
-  const std::size_t k = conv.kernel;
+      conv_geometry(conv.in_c, conv.kernel, conv.stride, conv.pad, input.shape,
+                    "run_conv_fast");
 
   out.shape = Shape{batch, conv.out_c, oh, ow};
   out.frac = conv.out_frac;
@@ -339,32 +210,8 @@ void AcceleratorExecutor::run_conv_fast(const QConv& conv,
   // to the sample's image base, so one table serves every sample of the
   // batch and every output channel (the per-pixel rebuild the reference
   // path does in its inner loop is the single hottest overhead there).
-  index.resize(oh * ow * patch);
-  for (std::size_t oy = 0; oy < oh; ++oy) {
-    for (std::size_t ox = 0; ox < ow; ++ox) {
-      std::size_t* row = index.data() + (oy * ow + ox) * patch;
-      std::size_t p = 0;
-      for (std::size_t c = 0; c < conv.in_c; ++c) {
-        for (std::size_t ky = 0; ky < k; ++ky) {
-          const std::ptrdiff_t iy =
-              static_cast<std::ptrdiff_t>(oy * conv.stride + ky) -
-              static_cast<std::ptrdiff_t>(conv.pad);
-          for (std::size_t kx = 0; kx < k; ++kx, ++p) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * conv.stride + kx) -
-                static_cast<std::ptrdiff_t>(conv.pad);
-            const bool inside =
-                iy >= 0 && iy < static_cast<std::ptrdiff_t>(ih) && ix >= 0 &&
-                ix < static_cast<std::ptrdiff_t>(iw);
-            row[p] = inside
-                         ? (c * ih + static_cast<std::size_t>(iy)) * iw +
-                               static_cast<std::size_t>(ix)
-                         : SIZE_MAX;
-          }
-        }
-      }
-    }
-  }
+  build_conv_gather(conv.in_c, ih, iw, conv.kernel, conv.stride, conv.pad, oh,
+                    ow, index);
 
   for (std::size_t n = 0; n < batch; ++n) {
     const std::size_t image_base = n * conv.in_c * ih * iw;

@@ -44,6 +44,7 @@ struct ExecScratch {
   CodeTensor input;                 ///< current activation (ping)
   CodeTensor output;                ///< next activation (pong)
   std::vector<std::size_t> index;   ///< per-pixel patch gather index table
+  std::vector<std::int8_t> patch;   ///< im2col patch buffer (compiled plans)
 };
 
 class AcceleratorExecutor {

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,6 +86,15 @@ class LayerProfiler {
   /// `desc_layer` (the executor's index; flatten layers are free and
   /// ignored).
   void record_layer_host_ns(std::size_t desc_layer,
+                            std::uint64_t ns) noexcept;
+
+  /// Host wall time of one *fused* compiled-plan step covering the desc
+  /// layers in `desc_layers` (source order). The time is attributed back to
+  /// the source layers' rows proportionally to their modeled cycle shares
+  /// (the fused kernel gives no per-stage boundary to measure), remainder
+  /// to the first row; layers without a row (flatten) are skipped. A
+  /// single-layer step degenerates to record_layer_host_ns.
+  void record_fused_host_ns(std::span<const std::size_t> desc_layers,
                             std::uint64_t ns) noexcept;
 
   [[nodiscard]] LayerProfile snapshot() const;

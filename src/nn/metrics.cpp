@@ -69,6 +69,16 @@ EvalResult evaluate(Network& network, const Tensor& images,
       images, labels, batch_size);
 }
 
+EvalResult evaluate_logits(
+    const std::function<Tensor(const Tensor&)>& batch_logits,
+    const Tensor& images, std::span<const int> labels,
+    std::size_t batch_size) {
+  if (!batch_logits) {
+    throw std::invalid_argument("evaluate_logits: null logits source");
+  }
+  return evaluate_impl(batch_logits, images, labels, batch_size);
+}
+
 EvalResult evaluate_ensemble(std::span<Network* const> members,
                              const Tensor& images,
                              std::span<const int> labels,

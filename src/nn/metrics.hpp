@@ -1,6 +1,7 @@
 // Classification metrics and batched network evaluation.
 #pragma once
 
+#include <functional>
 #include <span>
 
 #include "nn/network.hpp"
@@ -31,5 +32,14 @@ struct EvalResult {
                                            const Tensor& images,
                                            std::span<const int> labels,
                                            std::size_t batch_size = 64);
+
+/// Evaluates an arbitrary logits source: `batch_logits` receives each
+/// `batch_size` outer slice of `images` and returns its (batch, classes)
+/// logit rows. Same metric arithmetic as evaluate(), but decoupled from
+/// nn::Network so hardware paths (compiled plans, executors) can reuse it.
+[[nodiscard]] EvalResult evaluate_logits(
+    const std::function<Tensor(const Tensor&)>& batch_logits,
+    const Tensor& images, std::span<const int> labels,
+    std::size_t batch_size = 64);
 
 }  // namespace mfdfp::nn

@@ -1,9 +1,13 @@
 #include "serve/device.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "compile/passes.hpp"
+#include "compile/plan_cache.hpp"
+#include "compile/plan_executor.hpp"
 #include "hw/cycle_model.hpp"
 #include "hw/traffic_model.hpp"
 
@@ -11,7 +15,9 @@ namespace mfdfp::serve {
 
 SimulatedAcceleratorBackend::SimulatedAcceleratorBackend(
     std::vector<hw::QNetDesc> members, hw::AcceleratorConfig accel,
-    DeviceSpec device, std::size_t in_c, std::size_t in_h, std::size_t in_w)
+    DeviceSpec device, std::size_t in_c, std::size_t in_h, std::size_t in_w,
+    const compile::CompileOptions& compile,
+    const std::shared_ptr<compile::PlanCache>& plan_cache)
     : device_(std::move(device)), accel_(accel) {
   if (members.empty()) {
     throw std::invalid_argument(
@@ -23,8 +29,26 @@ SimulatedAcceleratorBackend::SimulatedAcceleratorBackend(
         "\" has speed_factor <= 0");
   }
 
+  // Device *class* key for plan sharing: the plan's content depends only on
+  // what the compiler can see of the device, so same-speed replicas (dev0,
+  // dev1, ...) share one artifact while heterogeneous placements get
+  // per-class entries.
+  std::string device_key;
+  if (compile.enabled) {
+    std::ostringstream key;
+    key << "sf=" << device_.speed_factor;
+    device_key = key.str();
+  }
+
   executors_.reserve(members.size());
   for (hw::QNetDesc& desc : members) {
+    if (compile.enabled) {
+      plans_.push_back(plan_cache != nullptr
+                           ? plan_cache->get_or_compile(desc, in_c, in_h, in_w,
+                                                        device_key, compile)
+                           : compile::compile_qnet(desc, in_c, in_h, in_w,
+                                                   compile));
+    }
     // Precompute this member's modeled per-inference cost. Ensemble members
     // run on parallel processing units, so batch latency is the max over
     // members while DMA is their sum.
@@ -68,9 +92,27 @@ BatchResult SimulatedAcceleratorBackend::execute(
     const tensor::Tensor& stacked, hw::ExecScratch& scratch) const {
   const std::size_t batch_size = stacked.shape().n();
   BatchResult result;
-  result.logits = member_ptrs_.size() == 1
-                      ? member_ptrs_.front()->run_batch(stacked, scratch)
-                      : hw::run_ensemble_batch(member_ptrs_, stacked, scratch);
+  if (!plans_.empty()) {
+    // Compiled path: every member executes its deploy-time plan —
+    // bit-identical to the run_batch path below (the plan only reorders
+    // exact integer arithmetic), with fused-step host time attributed back
+    // to source layers in the same profilers. Member logits averaged
+    // exactly as hw::run_ensemble_batch does.
+    result.logits = compile::run_plan_batch(*plans_.front(), stacked, scratch,
+                                            profilers_.front().get());
+    for (std::size_t m = 1; m < plans_.size(); ++m) {
+      result.logits.add(compile::run_plan_batch(*plans_[m], stacked, scratch,
+                                                profilers_[m].get()));
+    }
+    if (plans_.size() > 1) {
+      result.logits.scale(1.0f / static_cast<float>(plans_.size()));
+    }
+  } else {
+    result.logits =
+        member_ptrs_.size() == 1
+            ? member_ptrs_.front()->run_batch(stacked, scratch)
+            : hw::run_ensemble_batch(member_ptrs_, stacked, scratch);
+  }
   result.sim_accel_us = batch_us(batch_size);
   result.sim_dma_bytes = batch_dma_bytes(batch_size);
   return result;

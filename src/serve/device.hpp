@@ -50,10 +50,15 @@
 #include <string>
 #include <vector>
 
+#include "compile/plan.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/executor.hpp"
 #include "hw/layer_profile.hpp"
 #include "tensor/tensor.hpp"
+
+namespace mfdfp::compile {
+class PlanCache;  // compile/plan_cache.hpp
+}
 
 namespace mfdfp::serve {
 
@@ -211,10 +216,20 @@ class SimulatedAcceleratorBackend final : public ExecutionBackend {
   /// `members` must be non-empty and share the {in_c, in_h, in_w} input
   /// geometry. Throws std::invalid_argument on an empty member list or an
   /// invalid device (speed_factor <= 0).
-  SimulatedAcceleratorBackend(std::vector<hw::QNetDesc> members,
-                              hw::AcceleratorConfig accel, DeviceSpec device,
-                              std::size_t in_c, std::size_t in_h,
-                              std::size_t in_w);
+  ///
+  /// `compile` controls deploy-time compilation (the default lowers every
+  /// member into a CompiledPlan executed by execute(); .enabled = false
+  /// keeps the legacy per-batch run_batch path — the ablation baseline).
+  /// A non-null `plan_cache` shares plans across backends: replicas and
+  /// shared-PU tenants deploying identical content on the same device
+  /// class reuse one artifact. The backend pins its plans by shared_ptr,
+  /// so cache eviction or a hot redeploy never invalidates a deployed
+  /// backend (see compile/plan_cache.hpp).
+  SimulatedAcceleratorBackend(
+      std::vector<hw::QNetDesc> members, hw::AcceleratorConfig accel,
+      DeviceSpec device, std::size_t in_c, std::size_t in_h, std::size_t in_w,
+      const compile::CompileOptions& compile = {},
+      const std::shared_ptr<compile::PlanCache>& plan_cache = nullptr);
 
   [[nodiscard]] BatchResult execute(const tensor::Tensor& stacked,
                                     hw::ExecScratch& scratch) const override;
@@ -235,11 +250,24 @@ class SimulatedAcceleratorBackend final : public ExecutionBackend {
     return accel_;
   }
 
+  /// True when execute() runs compiled plans (compilation enabled at
+  /// construction).
+  [[nodiscard]] bool compiled() const noexcept { return !plans_.empty(); }
+
+  /// The compiled plan of member `member` (null when uncompiled).
+  [[nodiscard]] std::shared_ptr<const compile::CompiledPlan> plan(
+      std::size_t member = 0) const {
+    return member < plans_.size() ? plans_[member] : nullptr;
+  }
+
  private:
   DeviceSpec device_;
   hw::AcceleratorConfig accel_;
   std::vector<std::unique_ptr<hw::AcceleratorExecutor>> executors_;
   std::vector<const hw::AcceleratorExecutor*> member_ptrs_;
+  /// Deploy-time compiled plans, one per member (empty = uncompiled legacy
+  /// path). shared_ptr pins each plan across cache eviction / redeploy.
+  std::vector<std::shared_ptr<const compile::CompiledPlan>> plans_;
   /// One profiling sink per member, attached to the matching executor; the
   /// executors report passes into them from every worker thread.
   std::vector<std::unique_ptr<hw::LayerProfiler>> profilers_;

@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "compile/plan.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/executor.hpp"
 #include "serve/batcher.hpp"
@@ -49,6 +50,10 @@
 #include "serve/request_queue.hpp"
 #include "serve/stats.hpp"
 #include "serve/worker_pool.hpp"
+
+namespace mfdfp::compile {
+class PlanCache;  // compile/plan_cache.hpp
+}
 
 namespace mfdfp::serve {
 
@@ -127,6 +132,20 @@ struct DeployConfig {
   /// Baseline accelerator instance used for the simulated-latency/DMA
   /// accounting; `device.speed_factor` scales its effective clock.
   hw::AcceleratorConfig accel{};
+
+  /// Deploy-time compilation knobs (src/compile): by default every member
+  /// is lowered through the pass pipeline into a CompiledPlan the backend
+  /// executes — bit-identical to the uncompiled path, measurably faster.
+  /// .enabled = false deploys the legacy per-batch run_batch path (the
+  /// ablation baseline).
+  compile::CompileOptions compile{};
+
+  /// Plan cache shared across deployments, replicas, and shared-PU tenants.
+  /// Null = ModelServer fills in its server-wide cache on deploy (a bare
+  /// InferenceEngine compiles uncached). Plans are pinned by the backends
+  /// that execute them, so eviction/redeploy never invalidates in-flight
+  /// work (see compile/plan_cache.hpp).
+  std::shared_ptr<compile::PlanCache> plan_cache;
 };
 
 class InferenceEngine {

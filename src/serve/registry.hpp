@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "compile/plan_cache.hpp"
 #include "serve/replica_set.hpp"
 
 namespace mfdfp::serve {
@@ -74,6 +75,15 @@ class ModelRegistry {
   /// Undeploys everything (drains every replica of every set).
   void clear();
 
+  /// The registry-wide compiled-plan cache (compile/plan_cache.hpp):
+  /// deploy() hands it to every deployment whose config left plan_cache
+  /// null, so replicas, shared-PU tenants, and hot redeploys of identical
+  /// content all share one compiled artifact per (content, device class).
+  [[nodiscard]] const std::shared_ptr<compile::PlanCache>& plan_cache()
+      const noexcept {
+    return plan_cache_;
+  }
+
  private:
   struct Entry {
     std::shared_ptr<ReplicaSet> replicas;
@@ -82,6 +92,8 @@ class ModelRegistry {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
+  std::shared_ptr<compile::PlanCache> plan_cache_ =
+      std::make_shared<compile::PlanCache>();
   /// Last version handed out per name; survives undeploy so redeploys keep
   /// incrementing.
   std::unordered_map<std::string, std::uint32_t> last_version_;

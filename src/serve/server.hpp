@@ -106,6 +106,13 @@ class ModelServer {
     return registry_.find(model);
   }
 
+  /// The server-wide compiled-plan cache every deployment without its own
+  /// cache shares (hit/miss/eviction stats; see compile/plan_cache.hpp).
+  [[nodiscard]] const std::shared_ptr<compile::PlanCache>& plan_cache()
+      const noexcept {
+    return registry_.plan_cache();
+  }
+
   /// Direct engine access for tests/benches: the model's *first* replica
   /// (its only one for single-replica deployments); nullptr for unknown
   /// names. Multi-replica callers should go through replica_set().
