@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (check set in .clang-tidy) over every translation unit,
+# using the compile_commands.json CMake exports into the build directory
+# (CMAKE_EXPORT_COMPILE_COMMANDS is on by default in CMakeLists.txt).
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]   (default: build)
+# CI runs this as the static-analysis job; it exits 0 with a notice on
+# machines without clang-tidy so local gcc-only setups are unaffected.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $clang_tidy not installed; skipping (CI runs it)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json not found;" \
+       "configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+mapfile -t sources < <(
+  find "$repo_root/src" "$repo_root/tools" "$repo_root/bench" \
+       "$repo_root/tests" "$repo_root/examples" -name '*.cpp' 2>/dev/null |
+    sort
+)
+if [[ "${#sources[@]}" -eq 0 ]]; then
+  echo "run_clang_tidy: no sources found" >&2
+  exit 1
+fi
+
+echo "run_clang_tidy: ${#sources[@]} files against $build_dir"
+"$clang_tidy" -p "$build_dir" --quiet "${sources[@]}"
+echo "run_clang_tidy: clean"

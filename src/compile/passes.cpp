@@ -5,6 +5,7 @@
 #include <utility>
 #include <variant>
 
+#include "analysis/analyzer.hpp"
 #include "hw/datapath.hpp"
 #include "hw/kernels.hpp"
 #include "quant/pow2.hpp"
@@ -442,6 +443,13 @@ PassPipeline PassPipeline::standard(const CompileOptions& options) {
   });
   pipeline.add("verify",
                [](const hw::QNetDesc&, CompiledPlan& p) { pass_verify(p); });
+  if (options.analyze) {
+    // After verify: the analyzer assumes structurally sound tables and
+    // proves the numeric obligations on top (see analysis/analyzer.hpp).
+    pipeline.add("analyze", [](const hw::QNetDesc&, CompiledPlan& p) {
+      analysis::pass_analyze(p);
+    });
+  }
   return pipeline;
 }
 

@@ -62,6 +62,12 @@ struct CompileOptions {
   bool specialize = true;
   /// Strategy pass: im2col vs direct per conv layer (kAuto = cost model).
   ConvStrategy strategy = ConvStrategy::kAuto;
+  /// Numeric static analysis pass (src/analysis): prove the accumulator /
+  /// int32 fast path / radix chain safe for the deployed geometry, and
+  /// reject the plan (analysis::PlanRejectedError) otherwise. On by
+  /// default; off only for ablation and for tests that build plans the
+  /// analyzer would (correctly) refuse.
+  bool analyze = true;
 };
 
 /// One lowered, pre-resolved execution step.

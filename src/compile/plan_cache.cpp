@@ -13,7 +13,8 @@ std::string cache_key(std::uint64_t content_hash, std::size_t in_c,
   std::ostringstream key;
   key << std::hex << content_hash << std::dec << "|" << in_c << "x" << in_h
       << "x" << in_w << "|" << device_key << "|f" << options.fuse << "s"
-      << options.specialize << "t" << static_cast<int>(options.strategy);
+      << options.specialize << "t" << static_cast<int>(options.strategy)
+      << "a" << options.analyze;
   return key.str();
 }
 
@@ -27,7 +28,7 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
   const std::string key =
       cache_key(content, in_c, in_h, in_w, device_key, options);
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (auto it = entries_.find(key); it != entries_.end()) {
     it->second.last_used = ++clock_;
     ++stats_.hits;
@@ -53,14 +54,14 @@ std::shared_ptr<const CompiledPlan> PlanCache::get_or_compile(
 }
 
 PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   PlanCacheStats out = stats_;
   out.entries = entries_.size();
   return out;
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   entries_.clear();
 }
 

@@ -21,13 +21,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "compile/passes.hpp"
 #include "compile/plan.hpp"
 #include "hw/qnet.hpp"
+#include "util/mutex.hpp"
 
 namespace mfdfp::compile {
 
@@ -56,13 +56,13 @@ class PlanCache {
   [[nodiscard]] std::shared_ptr<const CompiledPlan> get_or_compile(
       const hw::QNetDesc& desc, std::size_t in_c, std::size_t in_h,
       std::size_t in_w, const std::string& device_key,
-      const CompileOptions& options);
+      const CompileOptions& options) EXCLUDES(mutex_);
 
-  [[nodiscard]] PlanCacheStats stats() const;
+  [[nodiscard]] PlanCacheStats stats() const EXCLUDES(mutex_);
 
   /// Drops every cached entry (outstanding shared_ptrs keep serving).
   /// Dropped entries do not count as evictions.
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t max_entries() const noexcept {
     return max_entries_;
@@ -75,10 +75,10 @@ class PlanCache {
   };
 
   const std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
-  std::uint64_t clock_ = 0;
-  PlanCacheStats stats_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  std::uint64_t clock_ GUARDED_BY(mutex_) = 0;
+  PlanCacheStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mfdfp::compile

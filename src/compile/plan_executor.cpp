@@ -16,13 +16,6 @@ namespace {
 using hw::CodeTensor;
 using tensor::Shape;
 
-/// Largest patch for which the dense dot fits an int32 accumulator:
-/// |code * weight| <= 128 * 2^7 = 2^14 per tap, so patch * 2^14 must stay
-/// below 2^31. Integer addition is exact either way — the narrower
-/// accumulator only exists to double the vectorization width.
-constexpr std::size_t kI32SafePatch =
-    static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max()) / 16384;
-
 /// Applies the step's fused ReLU (if any) to one routed output code —
 /// exactly apply_relu's arithmetic on a single element: rectify the stored
 /// 8-bit code at the conv's output radix, then convert_code into the ReLU's.

@@ -20,6 +20,15 @@ class LayerProfiler;  // hw/layer_profile.hpp
 
 namespace mfdfp::compile {
 
+/// Largest patch for which the dense dot fits an int32 accumulator:
+/// |code * weight| <= 128 * 2^7 = 2^14 per tap, so patch * 2^14 must stay
+/// below 2^31. Integer addition is exact either way — the narrower
+/// accumulator only exists to double the vectorization width. The
+/// analyzer (src/analysis) re-proves the int32 path from the actual
+/// per-channel bounds of each deployed plan.
+inline constexpr std::size_t kI32SafePatch =
+    static_cast<std::size_t>(2147483647) / 16384;
+
 /// Runs the plan over scratch.input (code domain), leaving the result in
 /// scratch.input. When `profiler` is non-null every step's host wall time is
 /// recorded with attribution back to its source desc layers.

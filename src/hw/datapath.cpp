@@ -50,8 +50,8 @@ void AccumulatorRouting::accumulate(std::int64_t tile_sum) {
   // The accumulator register is provisioned wide enough that overflow is
   // impossible for any layer the compiler maps (paper: "we ensure that all
   // intermediate signals have large enough word-width"). We model it as a
-  // 48-bit register and assert.
-  acc_ = check_width(acc_ + tile_sum, 48, "accumulator");
+  // kAccumulatorBits-wide register and assert.
+  acc_ = check_width(acc_ + tile_sum, kAccumulatorBits, "accumulator");
 }
 
 std::int32_t AccumulatorRouting::route(bool apply_relu) const {

@@ -31,6 +31,11 @@ inline constexpr int kSynapsesPerNeuron = 16;
 /// Extra fractional bits a product carries relative to the input: the
 /// shifter emits x << (7+e), e in [-7, 0].
 inline constexpr int kProductFracBits = 7;
+/// Accumulator register width (paper: "we ensure that all intermediate
+/// signals have large enough word-width"). AccumulatorRouting asserts it
+/// at runtime; the deploy-time analyzer (src/analysis) proves it can
+/// never fire for the deployed geometry.
+inline constexpr int kAccumulatorBits = 48;
 
 /// Per-synapse shift "multiplier": returns the product on a 16-bit wire,
 /// in units of 2^-(m + 7). Throws on width violation (cannot happen for

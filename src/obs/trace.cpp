@@ -59,7 +59,7 @@ TraceRecorder::TraceRecorder(TraceConfig config)
 TraceRecorder::~TraceRecorder() = default;
 
 const char* TraceRecorder::intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(intern_mutex_);
+  util::MutexLock lock(intern_mutex_);
   const auto it = interned_.find(name);
   if (it != interned_.end()) return it->second;
   interned_storage_.emplace_back(name);
@@ -76,7 +76,7 @@ TraceRecorder::Ring* TraceRecorder::ring_for_this_thread() noexcept {
   }
   Ring* ring = nullptr;
   {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    util::MutexLock lock(registry_mutex_);
     rings_.push_back(std::make_unique<Ring>(ring_capacity_, next_tid_++));
     ring = rings_.back().get();
   }
@@ -120,7 +120,7 @@ void TraceRecorder::record(TraceEventKind kind, const char* name,
 }
 
 TraceRecorder::Stats TraceRecorder::stats() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   Stats s;
   s.threads = rings_.size();
   for (const auto& ring : rings_) {
@@ -133,7 +133,7 @@ TraceRecorder::Stats TraceRecorder::stats() const {
 
 std::vector<TraceEvent> TraceRecorder::events() const {
   std::vector<TraceEvent> out;
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   for (const auto& ring : rings_) {
     const std::uint64_t head = ring->head.load(std::memory_order_acquire);
     const std::uint64_t count =
@@ -189,7 +189,7 @@ std::string TraceRecorder::to_chrome_json() const {
   {
     std::vector<std::pair<std::uint64_t, const char*>> labels;
     {
-      std::lock_guard<std::mutex> lock(registry_mutex_);
+      util::MutexLock lock(registry_mutex_);
       for (const auto& ring : rings_) {
         const char* label = ring->label.load(std::memory_order_relaxed);
         if (label != nullptr) labels.emplace_back(ring->tid, label);
@@ -266,7 +266,7 @@ bool TraceRecorder::write_chrome_json(const std::string& path) const {
 }
 
 void TraceRecorder::clear() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  util::MutexLock lock(registry_mutex_);
   for (const auto& ring : rings_) {
     for (Slot& slot : ring->slots) {
       slot.name.store(nullptr, std::memory_order_relaxed);

@@ -38,11 +38,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace mfdfp::obs {
 
@@ -95,7 +96,8 @@ class TraceRecorder {
   /// Returns a stable, immortal (for the recorder's lifetime) copy of
   /// `name`, deduplicated by content. Call once per dynamic name (deploy
   /// time), never on the hot path — interning takes a mutex.
-  [[nodiscard]] const char* intern(std::string_view name);
+  [[nodiscard]] const char* intern(std::string_view name)
+      EXCLUDES(intern_mutex_);
 
   /// Records a complete span [ts_us, ts_us + dur_us). No-op when disabled.
   void record_span(const char* name, const char* cat, std::int64_t ts_us,
@@ -137,16 +139,17 @@ class TraceRecorder {
     std::uint64_t dropped = 0;   ///< oldest events overwritten by wraparound
     std::size_t threads = 0;     ///< rings registered
   };
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const EXCLUDES(registry_mutex_);
 
   /// All currently-published events, oldest-first per thread (the reader's
   /// snapshot; concurrent writers may be appending past it).
-  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const
+      EXCLUDES(registry_mutex_);
 
   /// The buffered events as a Chrome trace-event JSON object
   /// ({"traceEvents": [...]}), sorted by timestamp, with thread-name
   /// metadata records for labeled threads.
-  [[nodiscard]] std::string to_chrome_json() const;
+  [[nodiscard]] std::string to_chrome_json() const EXCLUDES(registry_mutex_);
 
   /// Writes to_chrome_json() to `path`; false on I/O failure.
   bool write_chrome_json(const std::string& path) const;
@@ -154,7 +157,7 @@ class TraceRecorder {
   /// Resets every ring and the drop counters. Callers must ensure no thread
   /// is concurrently recording (disable first, then quiesce) — clear() is
   /// for tests and between-phase resets, not live use.
-  void clear();
+  void clear() EXCLUDES(registry_mutex_);
 
  private:
   struct Slot {
@@ -191,19 +194,24 @@ class TraceRecorder {
   /// (thread-local cache keyed by a process-unique recorder id, so
   /// distinct recorders — and recorder reincarnations at the same address —
   /// never alias).
-  [[nodiscard]] Ring* ring_for_this_thread() noexcept;
+  [[nodiscard]] Ring* ring_for_this_thread() noexcept
+      EXCLUDES(registry_mutex_);
 
   std::atomic<bool> enabled_{false};
   const std::size_t ring_capacity_;  ///< power of two
   const std::uint64_t recorder_id_;  ///< process-unique, never reused
 
-  mutable std::mutex registry_mutex_;
-  std::vector<std::unique_ptr<Ring>> rings_;
-  std::uint64_t next_tid_ = 1;
+  /// Guards the ring *registry* (the vector and tid counter) only: each
+  /// Ring's contents are seqlock-published atomics, appended lock-free by
+  /// their owning thread and read through acquire loads by exporters.
+  mutable util::Mutex registry_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(registry_mutex_);
+  std::uint64_t next_tid_ GUARDED_BY(registry_mutex_) = 1;
 
-  mutable std::mutex intern_mutex_;
-  std::deque<std::string> interned_storage_;
-  std::unordered_map<std::string_view, const char*> interned_;
+  mutable util::Mutex intern_mutex_;
+  std::deque<std::string> interned_storage_ GUARDED_BY(intern_mutex_);
+  std::unordered_map<std::string_view, const char*> interned_
+      GUARDED_BY(intern_mutex_);
 };
 
 /// The process-global recorder the serving stack records through.

@@ -45,7 +45,25 @@ DeployConfig InferenceEngine::resolve_config(DeployConfig config) {
   if (device.queue_capacity != 0) {
     config.queue_capacity = device.queue_capacity;
   }
-  if (config.workers == 0) config.workers = 1;
+
+  // Reject nonsensical configs with a typed code instead of silently
+  // "fixing" them: a zero-worker engine never drains its queue, a
+  // zero-capacity queue rejects every request at the door, and negative
+  // time budgets would wrap the deadline arithmetic. Validated *after* the
+  // device overrides so a bad override is caught too.
+  const auto reject = [](const std::string& what) {
+    throw DeployError(StatusCode::kInvalidConfig,
+                      "InferenceEngine: invalid deploy config: " + what);
+  };
+  if (config.in_c == 0 || config.in_h == 0 || config.in_w == 0) {
+    reject("input geometry has a zero dimension");
+  }
+  if (config.workers == 0) reject("zero workers");
+  if (config.max_batch == 0) reject("zero max_batch");
+  if (config.queue_capacity == 0) reject("zero-capacity queue");
+  if (config.max_wait_us < 0) reject("negative max_wait_us");
+  if (config.default_deadline_us < 0) reject("negative default_deadline_us");
+
   // One pacing thread per modeled accelerator: concurrent pacing workers
   // would each sleep out the same cycle-model budget and overstate paced
   // throughput by the worker count (see DeployConfig::paced_execution).

@@ -16,7 +16,7 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
   // distinct versions even though replica sets are built outside the lock.
   std::uint32_t version = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     version = ++last_version_[name];
   }
 
@@ -33,7 +33,7 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
 
   std::shared_ptr<ReplicaSet> replaced;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     Entry& entry = entries_[name];
     // A concurrent deploy may have published a newer version already; only
     // swap in if this deployment is the newest.
@@ -51,7 +51,7 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
 bool ModelRegistry::undeploy(const std::string& name) {
   std::shared_ptr<ReplicaSet> removed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end()) return false;
     removed = std::move(it->second.replicas);
@@ -63,13 +63,13 @@ bool ModelRegistry::undeploy(const std::string& name) {
 
 std::shared_ptr<ReplicaSet> ModelRegistry::find(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.replicas;
 }
 
 std::vector<ModelHandle> ModelRegistry::models() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<ModelHandle> handles;
   handles.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
@@ -79,14 +79,14 @@ std::vector<ModelHandle> ModelRegistry::models() const {
 }
 
 std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 void ModelRegistry::clear() {
   std::vector<std::shared_ptr<ReplicaSet>> removed;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     removed.reserve(entries_.size());
     for (auto& [name, entry] : entries_) {
       removed.push_back(std::move(entry.replicas));

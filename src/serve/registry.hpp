@@ -25,13 +25,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "compile/plan_cache.hpp"
 #include "serve/replica_set.hpp"
+#include "util/mutex.hpp"
 
 namespace mfdfp::serve {
 
@@ -56,24 +56,25 @@ class ModelRegistry {
   /// redeploy, every replica of the replaced set is drained before this
   /// returns.
   ModelHandle deploy(const std::string& name,
-                     std::vector<hw::QNetDesc> members, DeployConfig config);
+                     std::vector<hw::QNetDesc> members, DeployConfig config)
+      EXCLUDES(mutex_);
 
   /// Removes `name` and drains every replica of its set (all in-flight
   /// requests resolve). Returns false when no such model is deployed.
-  bool undeploy(const std::string& name);
+  bool undeploy(const std::string& name) EXCLUDES(mutex_);
 
   /// The replica set serving `name`, or nullptr. The shared_ptr keeps a
   /// drained set's stats readable even after undeploy.
-  [[nodiscard]] std::shared_ptr<ReplicaSet> find(
-      const std::string& name) const;
+  [[nodiscard]] std::shared_ptr<ReplicaSet> find(const std::string& name) const
+      EXCLUDES(mutex_);
 
   /// Handles of every deployed model, unordered.
-  [[nodiscard]] std::vector<ModelHandle> models() const;
+  [[nodiscard]] std::vector<ModelHandle> models() const EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
 
   /// Undeploys everything (drains every replica of every set).
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
   /// The registry-wide compiled-plan cache (compile/plan_cache.hpp):
   /// deploy() hands it to every deployment whose config left plan_cache
@@ -90,13 +91,17 @@ class ModelRegistry {
     std::uint32_t version = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> entries_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  /// Set once at construction, handed out by reference afterwards — the
+  /// pointer itself is immutable, so it needs no guard (the cache has its
+  /// own internal lock).
   std::shared_ptr<compile::PlanCache> plan_cache_ =
       std::make_shared<compile::PlanCache>();
   /// Last version handed out per name; survives undeploy so redeploys keep
   /// incrementing.
-  std::unordered_map<std::string, std::uint32_t> last_version_;
+  std::unordered_map<std::string, std::uint32_t> last_version_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace mfdfp::serve

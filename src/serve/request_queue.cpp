@@ -8,7 +8,7 @@ namespace mfdfp::serve {
 
 bool RequestQueue::push(Request&& request) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     const std::size_t limit = request.priority == Priority::kBatch
                                   ? capacity_ - interactive_reserve()
                                   : capacity_;
@@ -23,8 +23,10 @@ bool RequestQueue::push(Request&& request) {
 }
 
 bool RequestQueue::pop(Request& out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  ready_.wait(lock, [&] { return closed_ || total_locked() > 0; });
+  util::MutexLock lock(mutex_);
+  ready_.wait(mutex_, [this]() REQUIRES(mutex_) {
+    return closed_ || total_locked() > 0;
+  });
   for (auto& lane : lanes_) {
     if (lane.empty()) continue;
     out = std::move(lane.front());
@@ -35,7 +37,7 @@ bool RequestQueue::pop(Request& out) {
 }
 
 std::size_t RequestQueue::try_pop_n(std::vector<Request>& out, std::size_t n) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t popped = 0;
   for (auto& lane : lanes_) {
     while (popped < n && !lane.empty()) {
@@ -48,35 +50,35 @@ std::size_t RequestQueue::try_pop_n(std::vector<Request>& out, std::size_t n) {
 }
 
 void RequestQueue::wait_for_items(std::size_t n, std::int64_t deadline_us) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     if (closed_ || total_locked() >= n) return;
     const std::int64_t now = util::Stopwatch::now_us();
     if (now >= deadline_us) return;
-    ready_.wait_for(lock, std::chrono::microseconds(deadline_us - now));
+    ready_.wait_for(mutex_, std::chrono::microseconds(deadline_us - now));
   }
 }
 
 void RequestQueue::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
   }
   ready_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return closed_;
 }
 
 std::size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_locked();
 }
 
 std::size_t RequestQueue::size(Priority priority) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lanes_[lane_of(priority)].size();
 }
 

@@ -21,13 +21,12 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "serve/request.hpp"
+#include "util/mutex.hpp"
 
 namespace mfdfp::serve {
 
@@ -41,31 +40,33 @@ class RequestQueue {
   /// `request` untouched, promise included) when the queue is closed or
   /// full for that class — kBatch cannot use the interactive-reserved
   /// headroom — so the caller owns the rejection response.
-  [[nodiscard]] bool push(Request&& request);
+  [[nodiscard]] bool push(Request&& request) EXCLUDES(mutex_);
 
   /// Blocks until a request is available (pops the highest-priority one into
   /// `out`, returns true) or the queue is closed *and* drained (returns
   /// false).
-  [[nodiscard]] bool pop(Request& out);
+  [[nodiscard]] bool pop(Request& out) EXCLUDES(mutex_);
 
   /// Pops up to `n` requests without blocking, appending to `out` in strict
   /// priority order (all pending kInteractive before any kBatch). Returns
   /// how many were popped.
-  std::size_t try_pop_n(std::vector<Request>& out, std::size_t n);
+  std::size_t try_pop_n(std::vector<Request>& out, std::size_t n)
+      EXCLUDES(mutex_);
 
   /// Blocks until the queue holds >= `n` requests, `deadline_us` (absolute,
   /// util::Stopwatch::now_us clock) passes, or the queue is closed.
-  void wait_for_items(std::size_t n, std::int64_t deadline_us);
+  void wait_for_items(std::size_t n, std::int64_t deadline_us)
+      EXCLUDES(mutex_);
 
   /// Closes the queue: subsequent pushes fail, waiters wake, pop() drains
   /// what is left and then returns false.
-  void close();
+  void close() EXCLUDES(mutex_);
 
-  [[nodiscard]] bool closed() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
   /// Pending requests in one priority lane (always lane 0 when not
   /// priority-aware).
-  [[nodiscard]] std::size_t size(Priority priority) const;
+  [[nodiscard]] std::size_t size(Priority priority) const EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Slots only kInteractive may occupy: 1/8 of capacity, but never less
   /// than one slot for capacities >= 2. Without the floor, capacities below
@@ -86,18 +87,18 @@ class RequestQueue {
   [[nodiscard]] std::size_t lane_of(Priority priority) const noexcept {
     return priority_aware_ ? static_cast<std::size_t>(priority) : 0;
   }
-  [[nodiscard]] std::size_t total_locked() const noexcept {
+  [[nodiscard]] std::size_t total_locked() const noexcept REQUIRES(mutex_) {
     std::size_t total = 0;
     for (const auto& lane : lanes_) total += lane.size();
     return total;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable ready_;
-  std::array<std::deque<Request>, kPriorityClasses> lanes_;
+  mutable util::Mutex mutex_;
+  util::CondVar ready_;
+  std::array<std::deque<Request>, kPriorityClasses> lanes_ GUARDED_BY(mutex_);
   std::size_t capacity_;
   bool priority_aware_;
-  bool closed_ = false;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mfdfp::serve

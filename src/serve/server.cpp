@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/analyzer.hpp"
 #include "obs/metrics.hpp"
 #include "serve/shared_device.hpp"
 
@@ -12,11 +13,17 @@ namespace mfdfp::serve {
 ModelHandle ModelServer::deploy(const std::string& name,
                                 std::vector<hw::QNetDesc> members,
                                 DeployConfig config) {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  util::MutexLock lock(lifecycle_mutex_);
   if (shutdown_.load(std::memory_order_acquire)) {
     throw std::logic_error("ModelServer: deploy after shutdown");
   }
-  return registry_.deploy(name, std::move(members), std::move(config));
+  try {
+    return registry_.deploy(name, std::move(members), std::move(config));
+  } catch (const analysis::PlanRejectedError& error) {
+    // Surface analyzer rejections (thrown inside plan compilation, deep in
+    // backend construction) as the typed deploy-time status.
+    throw DeployError(StatusCode::kUnsafePlan, error.what());
+  }
 }
 
 bool ModelServer::undeploy(const std::string& name) {
@@ -24,7 +31,7 @@ bool ModelServer::undeploy(const std::string& name) {
   // concurrent deploy or shutdown of the same name — it observes either the
   // world before the other operation or the world after it, never a
   // half-swapped entry.
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  util::MutexLock lock(lifecycle_mutex_);
   return registry_.undeploy(name);
 }
 
@@ -42,7 +49,7 @@ std::future<Response> ModelServer::submit(const std::string& model,
 }
 
 void ModelServer::shutdown() {
-  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  util::MutexLock lock(lifecycle_mutex_);
   // Flag first, clear second: a submit whose lookup misses because the
   // clear won is ordered (registry mutex) after the clear, and therefore
   // after this store — it reads the flag as true and reports kShuttingDown.

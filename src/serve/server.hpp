@@ -40,12 +40,12 @@
 #include <atomic>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/registry.hpp"
 #include "serve/router.hpp"
+#include "util/mutex.hpp"
 
 namespace mfdfp::serve {
 
@@ -62,11 +62,11 @@ class ModelServer {
   /// and std::logic_error after shutdown().
   ModelHandle deploy(const std::string& name,
                      std::vector<hw::QNetDesc> members,
-                     DeployConfig config = {});
+                     DeployConfig config = {}) EXCLUDES(lifecycle_mutex_);
 
   /// Undeploys `name`, draining every replica's in-flight requests. False
   /// if unknown (including after shutdown, which already undeployed all).
-  bool undeploy(const std::string& name);
+  bool undeploy(const std::string& name) EXCLUDES(lifecycle_mutex_);
 
   /// Routes one sample to the named model's least-loaded replica (see
   /// Router / ReplicaSet / InferenceEngine).
@@ -76,7 +76,7 @@ class ModelServer {
 
   /// Drains and undeploys every model; subsequent submits resolve
   /// kShuttingDown and deploys throw. Idempotent.
-  void shutdown();
+  void shutdown() EXCLUDES(lifecycle_mutex_);
 
   [[nodiscard]] std::vector<ModelHandle> models() const {
     return registry_.models();
@@ -129,8 +129,9 @@ class ModelServer {
   ModelRegistry registry_;
   Router router_;
   /// Serializes deploy() / undeploy() / shutdown() against each other (see
-  /// file comment). submit() never takes it.
-  std::mutex lifecycle_mutex_;
+  /// file comment). submit() never takes it. Guards no fields directly —
+  /// the registry has its own lock; this one orders whole operations.
+  util::Mutex lifecycle_mutex_;
   /// Set (before the registry clears) by shutdown(); read by submit()'s
   /// fast path and by the router on lookup misses.
   std::atomic<bool> shutdown_{false};

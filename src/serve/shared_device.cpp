@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -46,7 +47,7 @@ SharedDevice::~SharedDevice() {
   // could block in execute()) released its handle, so all lanes are empty
   // and the dispatcher is parked in work_ready_.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
   }
   work_ready_.notify_all();
@@ -82,7 +83,7 @@ std::shared_ptr<const SharedDeviceBackend> SharedDevice::attach(
 
   Tenant* raw = tenant.get();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     tenants_.push_back(std::move(tenant));
     active_.push_back(raw);
   }
@@ -91,7 +92,7 @@ std::shared_ptr<const SharedDeviceBackend> SharedDevice::attach(
 }
 
 std::size_t SharedDevice::tenant_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return tenants_.size();
 }
 
@@ -100,7 +101,7 @@ double SharedDevice::backlog_us() const {
 }
 
 double SharedDevice::backlog_excluding_us(const Tenant* excluded) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   double total = 0.0;
   for (const Tenant* tenant : active_) {
     if (tenant == excluded) continue;
@@ -112,12 +113,12 @@ double SharedDevice::backlog_excluding_us(const Tenant* excluded) const {
 
 void SharedDevice::bind_tenant_load(const SharedDeviceBackend& backend,
                                     std::function<double()> outstanding_us) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   backend.tenant_->load_provider = std::move(outstanding_us);
 }
 
 void SharedDevice::release_tenant(Tenant* tenant) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   // The owning engine drained before its backend died, so nothing of this
   // tenant is queued or executing; drop the executors and predecoded
   // weights so redeploy churn cannot accumulate dead models' working
@@ -132,7 +133,7 @@ void SharedDevice::release_tenant(Tenant* tenant) {
 }
 
 void SharedDevice::submit_and_wait(Job& job) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (stop_) {
     // Unreachable by construction: the destructor (the only stop_ writer)
     // cannot run while a backend — and therefore an engine worker calling
@@ -145,7 +146,9 @@ void SharedDevice::submit_and_wait(Job& job) {
   job.owner->pending_us += job.est_cost_us;
   job.owner->lane.push_back(&job);
   work_ready_.notify_one();
-  pass_retired_.wait(lock, [&job] { return job.done; });
+  pass_retired_.wait(mutex_, [this, &job]() REQUIRES(mutex_) {
+    return job.done;
+  });
 }
 
 std::vector<SharedDevice::Job*> SharedDevice::next_pass_locked() {
@@ -207,16 +210,19 @@ std::vector<SharedDevice::Job*> SharedDevice::next_pass_locked() {
 void SharedDevice::dispatch_main() {
   hw::ExecScratch scratch;
   bool thread_labeled = false;
-  std::unique_lock<std::mutex> lock(mutex_);
+  // unique_lock over the annotated mutex: this loop releases the lock for
+  // the duration of each pass's execution and re-acquires it to retire the
+  // pass, which is why dispatch_main() opts out of the static analysis.
+  std::unique_lock<util::Mutex> lock(mutex_);
   for (;;) {
-    const auto lanes_pending = [this] {
+    const auto lanes_pending = [this]() REQUIRES(mutex_) {
       std::size_t samples = 0;
       for (const Tenant* tenant : active_) {
         for (const Job* job : tenant->lane) samples += job->samples;
       }
       return samples;
     };
-    work_ready_.wait(lock, [this, &lanes_pending] {
+    work_ready_.wait(mutex_, [this, &lanes_pending]() REQUIRES(mutex_) {
       return stop_ || lanes_pending() > 0;
     });
     if (config_.cobatch && config_.coalesce_window_us > 0 && !stop_) {
@@ -237,7 +243,7 @@ void SharedDevice::dispatch_main() {
       while (!stop_ && seen < config_.max_pass_samples &&
              std::chrono::steady_clock::now() < deadline) {
         const bool timed_out =
-            work_ready_.wait_for(lock, slice) == std::cv_status::timeout;
+            work_ready_.wait_for(mutex_, slice) == std::cv_status::timeout;
         const std::size_t now_pending = lanes_pending();
         if (timed_out && now_pending == seen) break;  // refill went quiet
         seen = now_pending;
@@ -395,7 +401,7 @@ void SharedDevice::dispatch_main() {
 }
 
 SharedDeviceSnapshot SharedDevice::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   SharedDeviceSnapshot s;
   s.device = spec_.name;
   s.speed_factor = spec_.speed_factor;

@@ -55,17 +55,16 @@
 // accounting rows stay readable in the device snapshot.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/device.hpp"
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mfdfp::serve {
@@ -188,7 +187,8 @@ class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
   /// mutex. ReplicaSet::stop() performs exactly that unbind; unbinding
   /// serializes on the device mutex against in-flight provider calls.
   void bind_tenant_load(const SharedDeviceBackend& backend,
-                        std::function<double()> outstanding_us);
+                        std::function<double()> outstanding_us)
+      EXCLUDES(mutex_);
 
   [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const SharedDeviceConfig& config() const noexcept {
@@ -197,13 +197,13 @@ class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
 
   /// Engines ever attached (detached tenants still count — their
   /// accounting rows persist).
-  [[nodiscard]] std::size_t tenant_count() const;
+  [[nodiscard]] std::size_t tenant_count() const EXCLUDES(mutex_);
 
   /// Modeled microseconds of queued + executing work across all tenants.
-  [[nodiscard]] double backlog_us() const;
+  [[nodiscard]] double backlog_us() const EXCLUDES(mutex_);
 
   /// Consistent accounting snapshot (see SharedDeviceSnapshot).
-  [[nodiscard]] SharedDeviceSnapshot snapshot() const;
+  [[nodiscard]] SharedDeviceSnapshot snapshot() const EXCLUDES(mutex_);
 
   /// The snapshot rendered as device + per-tenant tables, ready to print.
   [[nodiscard]] std::string stats_table(const std::string& title) const;
@@ -256,51 +256,57 @@ class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
 
   /// Enqueues `job` into its tenant lane and blocks until its pass retires
   /// (the execute() implementation of SharedDeviceBackend).
-  void submit_and_wait(Job& job);
+  void submit_and_wait(Job& job) EXCLUDES(mutex_);
 
   /// Called by ~SharedDeviceBackend: frees the tenant's executors and load
   /// provider (its engine has drained, so the lane is empty) while keeping
   /// the accounting row readable in snapshots.
-  void release_tenant(Tenant* tenant);
+  void release_tenant(Tenant* tenant) EXCLUDES(mutex_);
 
   /// Aggregate pending work minus `tenant`'s own contribution.
-  [[nodiscard]] double backlog_excluding_us(const Tenant* tenant) const;
+  [[nodiscard]] double backlog_excluding_us(const Tenant* tenant) const
+      EXCLUDES(mutex_);
 
-  void dispatch_main();
+  /// The dispatch thread's loop. Cycles mutex_ manually (held while
+  /// planning/retiring a pass, dropped while executing it), a shape the
+  /// static analysis cannot follow — the body opts out; every helper it
+  /// calls still declares its own contract.
+  void dispatch_main() NO_THREAD_SAFETY_ANALYSIS;
 
-  /// Pops the next pass from the tenant lanes (caller holds mutex_):
-  /// strict round-robin one sub-batch per pass when cobatch is off;
-  /// otherwise round-robin across geometry-compatible tenants up to
-  /// max_pass_samples, returned grouped by tenant so weight reloads are
-  /// paid once per model per pass.
-  [[nodiscard]] std::vector<Job*> next_pass_locked();
+  /// Pops the next pass from the tenant lanes: strict round-robin one
+  /// sub-batch per pass when cobatch is off; otherwise round-robin across
+  /// geometry-compatible tenants up to max_pass_samples, returned grouped
+  /// by tenant so weight reloads are paid once per model per pass.
+  [[nodiscard]] std::vector<Job*> next_pass_locked() REQUIRES(mutex_);
 
   DeviceSpec spec_;
   SharedDeviceConfig config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_ready_;   ///< dispatcher waits for jobs
-  std::condition_variable pass_retired_; ///< execute() callers wait for done
-  std::vector<std::unique_ptr<Tenant>> tenants_;  ///< guarded by mutex_
+  mutable util::Mutex mutex_;
+  util::CondVar work_ready_;    ///< dispatcher waits for jobs
+  util::CondVar pass_retired_;  ///< execute() callers wait for done
+  std::vector<std::unique_ptr<Tenant>> tenants_ GUARDED_BY(mutex_);
   /// Attached-and-not-released tenants — what the dispatcher and the
   /// backlog/admission paths iterate. Released tenants stay in tenants_
   /// (their rows and Tenant* stability outlive them) but leave this list,
   /// so redeploy churn cannot grow the per-submit scan without bound.
-  std::vector<Tenant*> active_;  ///< guarded by mutex_
-  std::size_t next_tenant_ = 0;  ///< round-robin cursor over active_
+  std::vector<Tenant*> active_ GUARDED_BY(mutex_);
+  /// Round-robin cursor over active_.
+  std::size_t next_tenant_ GUARDED_BY(mutex_) = 0;
   /// Tenant whose weights are resident in the PU's weight buffer; null
   /// before the first pass. Tenants share residency only with themselves —
   /// conservative for two replicas of one model, and a redeployed version
   /// legitimately reloads.
-  const Tenant* resident_ = nullptr;
-  bool stop_ = false;
+  const Tenant* resident_ GUARDED_BY(mutex_) = nullptr;
+  bool stop_ GUARDED_BY(mutex_) = false;
 
-  // Accounting (guarded by mutex_).
-  std::uint64_t passes_ = 0;
-  std::uint64_t cobatched_passes_ = 0;
-  std::uint64_t model_switches_ = 0;
-  double busy_us_ = 0.0;
-  double switch_busy_us_ = 0.0;
+  // Accounting.
+  std::uint64_t passes_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t cobatched_passes_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t model_switches_ GUARDED_BY(mutex_) = 0;
+  double busy_us_ GUARDED_BY(mutex_) = 0.0;
+  double switch_busy_us_ GUARDED_BY(mutex_) = 0.0;
+  /// Started at construction, only ever read — needs no guard.
   util::Stopwatch window_;
 
   std::thread dispatcher_;

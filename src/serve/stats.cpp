@@ -16,7 +16,7 @@ constexpr double kMinWindowSeconds = 1e-6;
 void ServerStats::record_response(std::int64_t e2e_us,
                                   std::int64_t queue_wait_us,
                                   Priority priority) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   e2e_us_.record(e2e_us);
   e2e_us_by_class_[static_cast<std::size_t>(priority)].record(e2e_us);
   queue_wait_us_.record(queue_wait_us);
@@ -25,28 +25,28 @@ void ServerStats::record_response(std::int64_t e2e_us,
 }
 
 void ServerStats::record_timeout() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++timed_out_;
 }
 
 void ServerStats::record_rejected() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++rejected_;
 }
 
 void ServerStats::record_shedded() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ++shedded_;
 }
 
 void ServerStats::record_queue_depth(std::size_t depth) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   queue_depth_.record(static_cast<std::int64_t>(depth));
 }
 
 void ServerStats::record_batch(std::size_t batch_size, double sim_accel_us,
                                double sim_dma_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (batch_size >= batch_sizes_.size()) {
     batch_sizes_.resize(batch_size + 1, 0);
   }
@@ -58,16 +58,20 @@ void ServerStats::record_batch(std::size_t batch_size, double sim_accel_us,
 }
 
 StatsSnapshot ServerStats::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return snapshot_with_window(window_.seconds());
 }
 
 StatsSnapshot ServerStats::aggregate(
     const std::vector<const ServerStats*>& parts,
     std::vector<PartTotals>* per_part) {
-  // Merge every part into a scratch instance (owned exclusively, so its
-  // members can be read without its lock), one part-lock at a time.
+  // Merge every part into a scratch instance, one part-lock at a time. The
+  // scratch is owned exclusively, but its (uncontended) lock is taken
+  // anyway so the merge follows the same checkable lock discipline as
+  // every other member access. total.mutex_ is a local the parts can never
+  // hold, so the nesting cannot deadlock.
   ServerStats total;
+  util::MutexLock total_lock(total.mutex_);
   double wall_seconds = 0.0;
   if (per_part != nullptr) {
     per_part->assign(parts.size(), PartTotals{});
@@ -75,7 +79,7 @@ StatsSnapshot ServerStats::aggregate(
   for (std::size_t index = 0; index < parts.size(); ++index) {
     const ServerStats* part = parts[index];
     if (part == nullptr) continue;
-    std::lock_guard<std::mutex> lock(part->mutex_);
+    util::MutexLock lock(part->mutex_);
     if (per_part != nullptr) {
       PartTotals& row = (*per_part)[index];
       row.completed = part->completed_;
@@ -244,7 +248,7 @@ std::string render_stats_tables(const StatsSnapshot& s,
 }
 
 void ServerStats::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   e2e_us_.clear();
   for (auto& histogram : e2e_us_by_class_) histogram.clear();
   queue_wait_us_.clear();

@@ -16,12 +16,12 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/request.hpp"
 #include "util/latency_histogram.hpp"
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mfdfp::serve {
@@ -113,24 +113,24 @@ class ServerStats {
 
   /// One completed request of the given priority class.
   void record_response(std::int64_t e2e_us, std::int64_t queue_wait_us,
-                       Priority priority);
+                       Priority priority) EXCLUDES(mutex_);
   /// One request that missed its deadline (at submit or while queued).
-  void record_timeout();
+  void record_timeout() EXCLUDES(mutex_);
   /// One request refused at submit time (bad input, queue full, stopped).
-  void record_rejected();
+  void record_rejected() EXCLUDES(mutex_);
   /// One kBatch request shed by admission control.
-  void record_shedded();
+  void record_shedded() EXCLUDES(mutex_);
   /// Queue depth seen by a submitter (recorded before its own push).
-  void record_queue_depth(std::size_t depth);
+  void record_queue_depth(std::size_t depth) EXCLUDES(mutex_);
   /// One executed batch with its simulated hardware cost.
   void record_batch(std::size_t batch_size, double sim_accel_us,
-                    double sim_dma_bytes);
+                    double sim_dma_bytes) EXCLUDES(mutex_);
 
   /// Consistent snapshot with derived rates over the current window. Rates
   /// (throughput, utilization) report 0 when the window is shorter than
   /// ~1 us — a snapshot taken immediately after clear() must not divide by
   /// a denormal wall time and emit inf/NaN.
-  [[nodiscard]] StatsSnapshot snapshot() const;
+  [[nodiscard]] StatsSnapshot snapshot() const EXCLUDES(mutex_);
 
   /// Scalar totals of one collector, captured under its lock during
   /// aggregate() — what a per-device utilization row needs, without a
@@ -163,30 +163,34 @@ class ServerStats {
   [[nodiscard]] std::string to_table(const std::string& title) const;
 
   /// Clears all counters and restarts the observation window.
-  void clear();
+  void clear() EXCLUDES(mutex_);
 
  private:
   /// Derives a snapshot from the current members over an explicit wall
-  /// window. Callers must hold mutex_ (or own *this exclusively, as
-  /// aggregate() does with its scratch instance).
-  [[nodiscard]] StatsSnapshot snapshot_with_window(double wall_seconds) const;
+  /// window. Holds for aggregate()'s exclusively-owned scratch instance
+  /// too — it locks the scratch mutex anyway (uncontended) to keep the
+  /// lock discipline uniform and analyzable.
+  [[nodiscard]] StatsSnapshot snapshot_with_window(double wall_seconds) const
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  util::Stopwatch window_;
-  util::LatencyHistogram e2e_us_;
-  std::array<util::LatencyHistogram, kPriorityClasses> e2e_us_by_class_;
-  util::LatencyHistogram queue_wait_us_;
-  util::LatencyHistogram queue_depth_;
-  std::vector<std::uint64_t> batch_sizes_;
-  std::uint64_t completed_ = 0;
-  std::array<std::uint64_t, kPriorityClasses> completed_by_class_{};
-  std::uint64_t timed_out_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t shedded_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_requests_ = 0;
-  double sim_accel_busy_us_ = 0.0;
-  double sim_dma_bytes_ = 0.0;
+  mutable util::Mutex mutex_;
+  util::Stopwatch window_ GUARDED_BY(mutex_);
+  util::LatencyHistogram e2e_us_ GUARDED_BY(mutex_);
+  std::array<util::LatencyHistogram, kPriorityClasses> e2e_us_by_class_
+      GUARDED_BY(mutex_);
+  util::LatencyHistogram queue_wait_us_ GUARDED_BY(mutex_);
+  util::LatencyHistogram queue_depth_ GUARDED_BY(mutex_);
+  std::vector<std::uint64_t> batch_sizes_ GUARDED_BY(mutex_);
+  std::uint64_t completed_ GUARDED_BY(mutex_) = 0;
+  std::array<std::uint64_t, kPriorityClasses> completed_by_class_
+      GUARDED_BY(mutex_){};
+  std::uint64_t timed_out_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t rejected_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t shedded_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t batches_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t batched_requests_ GUARDED_BY(mutex_) = 0;
+  double sim_accel_busy_us_ GUARDED_BY(mutex_) = 0.0;
+  double sim_dma_bytes_ GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Renders one snapshot as the aligned latency / batching / simulated

@@ -27,6 +27,9 @@
 // dispatch on the code.
 #pragma once
 
+#include <stdexcept>
+#include <string>
+
 namespace mfdfp::serve {
 
 enum class StatusCode {
@@ -37,6 +40,13 @@ enum class StatusCode {
   kModelNotFound,
   kShuttingDown,
   kShedded,
+  /// deploy() refused a nonsensical DeployConfig (zero workers, negative
+  /// deadline, zero-capacity queue, ...) before building anything.
+  kInvalidConfig,
+  /// deploy() refused a model whose compiled plan failed the numeric
+  /// static analyzer (src/analysis): possible accumulator overflow or an
+  /// inconsistent DFP radix chain for the deployed geometry.
+  kUnsafePlan,
 };
 
 /// True when `code` means the request was served and the logits are valid.
@@ -54,6 +64,8 @@ enum class StatusCode {
     case StatusCode::kModelNotFound:    return "model_not_found";
     case StatusCode::kShuttingDown:     return "shutting_down";
     case StatusCode::kShedded:          return "shedded";
+    case StatusCode::kInvalidConfig:    return "invalid_config";
+    case StatusCode::kUnsafePlan:       return "unsafe_plan";
   }
   return "unknown";
 }
@@ -71,8 +83,26 @@ enum class StatusCode {
     case StatusCode::kModelNotFound:    return "model not found";
     case StatusCode::kShuttingDown:     return "engine stopped";
     case StatusCode::kShedded:          return "shedded by admission control";
+    case StatusCode::kInvalidConfig:    return "invalid deploy config";
+    case StatusCode::kUnsafePlan:       return "plan rejected by analyzer";
   }
   return "unknown error";
 }
+
+/// Typed deploy-time rejection: carries the StatusCode explaining *why*
+/// deploy() refused (kInvalidConfig for nonsensical DeployConfigs,
+/// kUnsafePlan when the numeric analyzer rejected the compiled plan).
+/// Derives from std::invalid_argument so callers of the pre-typed API
+/// keep catching what they always caught; new code dispatches on code().
+class DeployError : public std::invalid_argument {
+ public:
+  DeployError(StatusCode code, const std::string& what)
+      : std::invalid_argument(what), code_(code) {}
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+
+ private:
+  StatusCode code_;
+};
 
 }  // namespace mfdfp::serve

@@ -5,8 +5,10 @@
 
 namespace mfdfp::serve {
 
-void WorkerPool::start(std::size_t count, std::function<void(std::size_t)> body) {
-  if (!threads_.empty()) {
+void WorkerPool::start(std::size_t count,
+                       std::function<void(std::size_t)> body) {
+  util::MutexLock lock(mutex_);
+  if (!threads_.empty() || joiners_ != 0) {
     throw std::logic_error("WorkerPool: already started");
   }
   threads_.reserve(count);
@@ -16,10 +18,34 @@ void WorkerPool::start(std::size_t count, std::function<void(std::size_t)> body)
 }
 
 void WorkerPool::join() {
-  for (std::thread& thread : threads_) {
+  // Claim the thread vector under the lock, join outside it (a join can
+  // block indefinitely; holding the mutex across it would stall size() and
+  // concurrent joiners). Callers that find the vector already claimed wait
+  // until the claimant finishes, so join()'s postcondition — no pool thread
+  // still running — holds for every caller, not just the one doing the work.
+  std::vector<std::thread> claimed;
+  {
+    util::MutexLock lock(mutex_);
+    if (threads_.empty()) {
+      joined_.wait(mutex_, [this]() REQUIRES(mutex_) { return joiners_ == 0; });
+      return;
+    }
+    claimed.swap(threads_);
+    ++joiners_;
+  }
+  for (std::thread& thread : claimed) {
     if (thread.joinable()) thread.join();
   }
-  threads_.clear();
+  {
+    util::MutexLock lock(mutex_);
+    --joiners_;
+  }
+  joined_.notify_all();
+}
+
+std::size_t WorkerPool::size() const {
+  util::MutexLock lock(mutex_);
+  return threads_.size();
 }
 
 }  // namespace mfdfp::serve

@@ -4,12 +4,20 @@
 // the supplied loop function once (the function itself loops until its batch
 // source reports closed-and-drained), so shutdown is: close the source, then
 // join() — no stop flags to poll, no way to deadlock on a half-closed queue.
+//
+// join() is safe to call from multiple threads at once: InferenceEngine::stop
+// is reachable concurrently from the destructor, ReplicaSet::stop, and test
+// harnesses, so the thread vector is guarded and a late joiner blocks until
+// the thread that claimed the vector has finished joining — nobody returns
+// from join() while a pool thread is still running.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace mfdfp::serve {
 
@@ -21,16 +29,24 @@ class WorkerPool {
   ~WorkerPool() { join(); }
 
   /// Spawns `count` threads, each running `body(worker_index)` to
-  /// completion. Must not be called while threads are still running.
-  void start(std::size_t count, std::function<void(std::size_t)> body);
+  /// completion. Must not be called while threads are still running or
+  /// being joined.
+  void start(std::size_t count, std::function<void(std::size_t)> body)
+      EXCLUDES(mutex_);
 
-  /// Joins all threads; idempotent.
-  void join();
+  /// Joins all threads; idempotent and safe to race with itself — every
+  /// caller returns only after all pool threads have exited.
+  void join() EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+  [[nodiscard]] std::size_t size() const EXCLUDES(mutex_);
 
  private:
-  std::vector<std::thread> threads_;
+  mutable util::Mutex mutex_;
+  util::CondVar joined_;
+  std::vector<std::thread> threads_ GUARDED_BY(mutex_);
+  /// Number of join() calls currently joining a claimed thread vector
+  /// outside the lock (0 or 1 in practice).
+  std::size_t joiners_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mfdfp::serve

@@ -1,0 +1,84 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// These macros attach static locking contracts to types, fields, and
+// functions: which mutex guards a field, which lock a function requires,
+// acquires, or releases. Under clang with -Wthread-safety the compiler
+// checks every access against the declared contract at build time; a
+// read of a GUARDED_BY field outside its lock is a hard error in the
+// clang CI job (-Werror). Under gcc (the default local toolchain) every
+// macro expands to nothing, so the annotations cost nothing and the
+// tier-1 build is unaffected.
+//
+// Conventions (see docs/static-analysis.md):
+//   * shared state is declared `util::Mutex` (util/mutex.hpp), never a
+//     bare std::mutex — only the wrapper carries the CAPABILITY type the
+//     analysis needs;
+//   * every field written on one thread and read on another is either
+//     GUARDED_BY a mutex, a std::atomic, or documented immutable after
+//     construction;
+//   * private helpers that assume a held lock say so with REQUIRES
+//     instead of a comment.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MFDFP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef MFDFP_THREAD_ANNOTATION
+#define MFDFP_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define CAPABILITY(x) MFDFP_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define SCOPED_CAPABILITY MFDFP_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated field may only be accessed while holding `x`.
+#define GUARDED_BY(x) MFDFP_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data pointed to by the annotated pointer is guarded by `x` (the
+/// pointer itself is not).
+#define PT_GUARDED_BY(x) MFDFP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) to call this function.
+#define REQUIRES(...) \
+  MFDFP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold the capability at least shared to call this function.
+#define REQUIRES_SHARED(...) \
+  MFDFP_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// This function acquires the capability and does not release it.
+#define ACQUIRE(...) MFDFP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// This function releases a capability the caller held.
+#define RELEASE(...) MFDFP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// This function acquires the capability iff it returns `ret`.
+#define TRY_ACQUIRE(ret, ...) \
+  MFDFP_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention on
+/// self-calling public APIs).
+#define EXCLUDES(...) MFDFP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares that this function returns a reference to the capability
+/// guarding it (lets accessors participate in the analysis).
+#define RETURN_CAPABILITY(x) MFDFP_THREAD_ANNOTATION(lock_returned(x))
+
+/// Acquisition order: this capability must be acquired after `...`.
+#define ACQUIRED_AFTER(...) MFDFP_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Acquisition order: this capability must be acquired before `...`.
+#define ACQUIRED_BEFORE(...) \
+  MFDFP_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model (e.g. locking every
+/// element of a collection, or exclusive ownership of a local scratch
+/// instance). Use sparingly and say why at the use site.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MFDFP_THREAD_ANNOTATION(no_thread_safety_analysis)

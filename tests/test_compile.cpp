@@ -97,8 +97,8 @@ TEST(PassPipeline, StandardPipelineFusesAndRecordsPasses) {
   const hw::QNetDesc desc = make_zoo_qnet(1, "cifar");
   const auto plan = compile_qnet(desc, kInC, kInH, kInW);
 
-  const std::vector<std::string> expected{"fuse", "specialize", "strategy",
-                                          "tables", "verify"};
+  const std::vector<std::string> expected{"fuse",   "specialize", "strategy",
+                                          "tables", "verify",     "analyze"};
   EXPECT_EQ(plan->passes_run, expected);
 
   // cifar10 net: block 1 is conv→pool→relu (fusion-illegal pool position),
@@ -133,6 +133,7 @@ TEST(PassPipeline, AblatedPassesAreNotRun) {
   CompileOptions options;
   options.fuse = false;
   options.specialize = false;
+  options.analyze = false;
   const auto plan = compile_qnet(desc, kInC, kInH, kInW, options);
 
   const std::vector<std::string> expected{"strategy", "tables", "verify"};

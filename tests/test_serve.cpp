@@ -17,6 +17,7 @@
 #include "nn/zoo.hpp"
 #include "serve/batcher.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/worker_pool.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mfdfp::serve {
@@ -655,6 +656,47 @@ TEST(ServerStatsAggregate, SkipsNullPartsAndMergesMixedDevices) {
   // The merged e2e histogram spans both devices' latency ranges.
   EXPECT_LE(merged.e2e_p50_us, 300);
   EXPECT_GE(merged.e2e_max_us, 1100);
+}
+
+// Regression (caught by -Wthread-safety, reproduced under TSan): two
+// threads racing WorkerPool::join() — reachable in production as
+// ~InferenceEngine racing ReplicaSet::stop — used to race on the thread
+// vector, and the loser could return while pool threads were still
+// running. The contract now: *every* join() caller blocks until all pool
+// threads have exited.
+TEST(WorkerPoolTest, ConcurrentJoinWaitsForAllWorkers) {
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    WorkerPool pool;
+    std::atomic<int> running{0};
+    std::atomic<bool> release{false};
+    pool.start(4, [&](std::size_t) {
+      running.fetch_add(1, std::memory_order_relaxed);
+      while (!release.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      running.fetch_sub(1, std::memory_order_relaxed);
+    });
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> joiners;
+    for (int j = 0; j < 3; ++j) {
+      joiners.emplace_back([&] {
+        while (!go.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        pool.join();
+        // The postcondition every caller relies on (the engine destructor
+        // must not return while a worker can still touch the engine).
+        EXPECT_EQ(running.load(std::memory_order_relaxed), 0);
+      });
+    }
+    release.store(true, std::memory_order_release);
+    go.store(true, std::memory_order_release);
+    for (std::thread& joiner : joiners) joiner.join();
+    EXPECT_EQ(pool.size(), 0u);
+    // join() after the pool is drained is a no-op, not a hang.
+    pool.join();
+  }
 }
 
 }  // namespace
