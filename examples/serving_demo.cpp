@@ -90,6 +90,19 @@ int main() {
   config.workers = 4;
   config.default_deadline_us = 200'000;  // 200 ms SLO
   config.accel = hw::mfdfp_config(ensemble_config.member_count);
+  // Declare the traffic each deployment is sized for: deploy() runs the
+  // capacity analyzer (analysis/capacity.hpp) over the declared envelope
+  // and the placement's static facts, proving the 200 ms SLO is
+  // schedulable before a single request arrives. warn_only keeps the demo
+  // running (with a logged report) if a bound is ever violated instead of
+  // refusing the deploy; the proven bounds print beside the measured
+  // stats below.
+  config.envelope.arrival_rps = 260.0;          // ~7/8 of the 300 rps mix
+  config.envelope.interactive_fraction = 0.25;  // 1-in-4 probes
+  config.envelope.interactive_burst = 8;
+  config.envelope.interactive_deadline_us = 200'000;
+  config.envelope.batch_deadline_us = 200'000;
+  config.envelope.warn_only = true;
   // Placement: one baseline device plus a 2x-provisioned one behind the
   // same name. Normalized-work routing balances outstanding *time*, so
   // whenever requests queue, "npu-fast" absorbs roughly twice the traffic
@@ -112,6 +125,10 @@ int main() {
   serve::DeployConfig single_config = config;
   single_config.accel = hw::mfdfp_config(1);
   single_config.placement = {serve::DeviceSpec::on(edge_pu)};
+  // Each shared-PU tenant takes every 8th interactive probe; the analyzer
+  // prices their mutual blocking on "edge-pu" from these declarations.
+  single_config.envelope.arrival_rps = 40.0;
+  single_config.envelope.interactive_fraction = 1.0;
   server.deploy("single", {members.front()}, single_config);
   server.deploy("canary", {members.front()}, single_config);
   server.deploy("ensemble", std::move(members), config);
@@ -230,6 +247,15 @@ int main() {
   }
   std::printf("%s\n\n", server.stats_table("single").c_str());
   std::printf("%s\n\n", edge_pu->stats_table("demo").c_str());
+  // The deploy-time proofs next to the measured tails they bound: every
+  // row is a static worst case derived from the declared envelopes — the
+  // measured p99s above must sit at or under the interactive bounds here.
+  const analysis::CapacityReport capacity = server.capacity_report();
+  std::printf("%s%s\n\n",
+              capacity.table("deploy-time capacity analysis "
+                             "(static bounds vs declared envelopes)")
+                  .c_str(),
+              capacity.summary().c_str());
   std::printf("served %zu/%zu requests (%zu shed, %zu timed out), "
               "top-1 %.2f%%; canary agreed on %zu/%zu served probe pairs "
               "(%zu unserved)\n",

@@ -5,7 +5,8 @@
 # numbers (ablation_multimodel), the replica-scaling numbers
 # (ablation_replicas), the heterogeneous-device scaling + routing numbers
 # (ablation_hetero), the shared-PU cross-model batching numbers
-# (ablation_shared_pu), the tracing-overhead + layer-profile
+# (ablation_shared_pu), the capacity-analyzer soundness numbers
+# (ablation_capacity), the tracing-overhead + layer-profile
 # reconciliation numbers (ablation_trace_overhead), and the deploy-time
 # compiler speedup/ablation numbers (ablation_compile). See
 # docs/benchmarks.md for every bench's enforced thresholds.
@@ -23,8 +24,8 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 benches=(serve_throughput ablation_multimodel ablation_replicas
-         ablation_hetero ablation_shared_pu ablation_trace_overhead
-         ablation_compile)
+         ablation_hetero ablation_shared_pu ablation_capacity
+         ablation_trace_overhead ablation_compile)
 
 for target in "${benches[@]}"; do
   if [[ ! -x "$build_dir/$target" ]]; then
@@ -58,6 +59,7 @@ run_bench ablation_multimodel "$tmp_dir/multimodel.json"
 run_bench ablation_replicas "$tmp_dir/replicas.json"
 run_bench ablation_hetero "$tmp_dir/hetero.json"
 run_bench ablation_shared_pu "$tmp_dir/shared_pu.json"
+run_bench ablation_capacity "$tmp_dir/capacity.json"
 run_bench ablation_trace_overhead "$tmp_dir/trace_overhead.json"
 run_bench ablation_compile "$tmp_dir/compile.json"
 
@@ -80,6 +82,9 @@ stamp="$tmp_dir/BENCH_serve.json"
   echo "  ,"
   echo "  \"shared_pu\":"
   sed 's/^/  /' "$tmp_dir/shared_pu.json"
+  echo "  ,"
+  echo "  \"capacity\":"
+  sed 's/^/  /' "$tmp_dir/capacity.json"
   echo "  ,"
   echo "  \"trace_overhead\":"
   sed 's/^/  /' "$tmp_dir/trace_overhead.json"

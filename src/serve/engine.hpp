@@ -42,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/capacity.hpp"
 #include "compile/plan.hpp"
 #include "hw/cost_model.hpp"
 #include "hw/executor.hpp"
@@ -140,6 +141,15 @@ struct DeployConfig {
   /// ablation baseline).
   compile::CompileOptions compile{};
 
+  /// Declared traffic contract for this model (see
+  /// analysis/capacity.hpp). Default (arrival_rps == 0) = no envelope:
+  /// ModelServer::deploy() skips the schedulability analysis. With one
+  /// declared, deploy() statically proves the placement can meet the
+  /// envelope's deadlines and rejects infeasible placements as
+  /// DeployError{kInfeasibleSlo} (or logs the violated proofs when
+  /// envelope.warn_only is set) before the model serves a request.
+  analysis::TrafficEnvelope envelope{};
+
   /// Plan cache shared across deployments, replicas, and shared-PU tenants.
   /// Null = ModelServer fills in its server-wide cache on deploy (a bare
   /// InferenceEngine compiles uncached). Plans are pinned by the backends
@@ -222,7 +232,9 @@ class InferenceEngine {
   /// routing and admission balance estimated_queue_delay_us(), which adds
   /// the cross-tenant backlog of a shared device.
   [[nodiscard]] double outstanding_work_us() const noexcept {
-    return static_cast<double>(outstanding_total()) * backend_->sample_us();
+    return analysis::committed_delay_us(
+        static_cast<double>(outstanding_total()), backend_->sample_us(),
+        /*cross_backlog_us=*/0.0);
   }
   [[nodiscard]] std::size_t member_count() const noexcept {
     return backend_->member_count();
@@ -259,9 +271,14 @@ class InferenceEngine {
   /// work *other* tenants have already committed to the device, so a model
   /// that is idle itself still sheds against a neighbour's flood instead of
   /// queueing work the contended device cannot finish in time. This is also
-  /// the load normalized-work replica routing balances.
+  /// the load normalized-work replica routing balances, and the same
+  /// analysis::committed_delay_us() formula the deploy-time capacity
+  /// analyzer builds its proofs from (single source of truth; see
+  /// analysis/capacity.hpp).
   [[nodiscard]] double estimated_queue_delay_us() const {
-    return outstanding_work_us() + backend_->cross_tenant_backlog_us();
+    return analysis::committed_delay_us(
+        static_cast<double>(outstanding_total()), backend_->sample_us(),
+        backend_->cross_tenant_backlog_us());
   }
 
  private:

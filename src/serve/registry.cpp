@@ -5,9 +5,10 @@
 
 namespace mfdfp::serve {
 
-ModelHandle ModelRegistry::deploy(const std::string& name,
-                                  std::vector<hw::QNetDesc> members,
-                                  DeployConfig config) {
+ModelHandle ModelRegistry::deploy(
+    const std::string& name, std::vector<hw::QNetDesc> members,
+    DeployConfig config,
+    const std::function<void(const ReplicaSet&)>& validate) {
   if (name.empty()) {
     throw std::invalid_argument("ModelRegistry: empty model name");
   }
@@ -30,6 +31,12 @@ ModelHandle ModelRegistry::deploy(const std::string& name,
   // every replacement replica constructs (weight predecode, worker spawn).
   auto replicas =
       std::make_shared<ReplicaSet>(std::move(members), std::move(config));
+
+  // Deploy-time validation on the built-but-unpublished candidate, still
+  // outside the lock: a throw here unwinds the candidate set (its workers
+  // drain and its shared-PU tenants release in ~ReplicaSet) while the old
+  // entry — if any — keeps serving as if this deploy never happened.
+  if (validate) validate(*replicas);
 
   std::shared_ptr<ReplicaSet> replaced;
   {

@@ -24,6 +24,7 @@
 // the registry entry through the tenants' backend handles.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -55,8 +56,17 @@ class ModelRegistry {
   /// Throws std::invalid_argument for an empty name or member list. On
   /// redeploy, every replica of the replaced set is drained before this
   /// returns.
-  ModelHandle deploy(const std::string& name,
-                     std::vector<hw::QNetDesc> members, DeployConfig config)
+  ///
+  /// `validate`, when set, runs on the fully built candidate set outside
+  /// every registry lock and *before* it is published — ModelServer hooks
+  /// its capacity analysis here. A throw unwinds the candidate (workers
+  /// drain, shared-PU tenants release) while any existing version keeps
+  /// serving untouched; the reserved version number is burned either way,
+  /// so versions stay monotonic across rejected deploys.
+  ModelHandle deploy(
+      const std::string& name, std::vector<hw::QNetDesc> members,
+      DeployConfig config,
+      const std::function<void(const ReplicaSet&)>& validate = {})
       EXCLUDES(mutex_);
 
   /// Removes `name` and drains every replica of its set (all in-flight

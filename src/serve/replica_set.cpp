@@ -231,6 +231,51 @@ double ReplicaSet::estimated_queue_delay_us() const {
   return replicas_.empty() ? 0.0 : best;
 }
 
+analysis::ModelFacts ReplicaSet::capacity_facts() const {
+  analysis::ModelFacts facts;
+  facts.model = config_.model_name.empty() ? "model" : config_.model_name;
+  facts.envelope = config_.envelope;
+  facts.admission_control = config_.admission_control;
+  facts.batch_quota = config_.batch_quota;
+  facts.replicas.reserve(replicas_.size());
+  for (std::size_t index = 0; index < replicas_.size(); ++index) {
+    const InferenceEngine& engine = *replicas_[index];
+    const DeviceSpec& device = engine.device();
+    const DeployConfig& resolved = engine.config();
+    analysis::ReplicaFacts r;
+    r.device = device.name;
+    r.shared = device.shared != nullptr;
+    r.speed_factor = device.speed_factor;
+    // The same per-sample price admission and routing use — the analyzer's
+    // single-source-of-truth contract (see analysis/capacity.hpp).
+    r.sample_us = engine.simulated_sample_us();
+    r.max_batch = resolved.max_batch;
+    r.max_wait_us = resolved.max_wait_us;
+    r.queue_capacity = resolved.queue_capacity;
+    if (device.shared != nullptr) {
+      // All replicas of all models naming this PU contend for one device:
+      // key by the PU so the analyzer groups them.
+      r.device_key = device.name;
+      const SharedDeviceConfig& pu = device.shared->config();
+      r.max_pass_samples = pu.max_pass_samples;
+      r.cobatch = pu.cobatch;
+      r.coalesce_window_us = pu.coalesce_window_us;
+      r.pass_overhead_us = pu.pass_overhead_us;
+      if (const auto* backend = dynamic_cast<const SharedDeviceBackend*>(
+              &engine.backend())) {
+        r.switch_us = backend->switch_us();
+      }
+    } else {
+      // A dedicated device is private hardware: two models' "dev0" are
+      // distinct, so the key carries the deployment identity.
+      r.device_key =
+          facts.model + "/" + device.name + "#r" + std::to_string(index);
+    }
+    facts.replicas.push_back(std::move(r));
+  }
+  return facts;
+}
+
 StatsSnapshot ReplicaSet::aggregated_snapshot() const {
   std::vector<const ServerStats*> parts;
   parts.reserve(replicas_.size());

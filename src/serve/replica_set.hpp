@@ -118,6 +118,16 @@ class ReplicaSet {
   /// to the least-loaded one.
   [[nodiscard]] double estimated_queue_delay_us() const;
 
+  /// The static facts the deploy-time capacity analyzer consumes
+  /// (analysis/capacity.hpp): this set's envelope/QoS knobs plus one
+  /// ReplicaFacts per replica, priced from the *live* engines — sample_us
+  /// is each backend's own speed-scaled cost (identical to what
+  /// estimated_queue_delay_us() admission prices with), shared-PU facts
+  /// come from the attached SharedDevice's config, and the weight-reload
+  /// term is the tenant's actual attach-time switch cost. Safe while
+  /// serving.
+  [[nodiscard]] analysis::ModelFacts capacity_facts() const;
+
   /// kBatch submissions refused by the set-wide quota (also counted as
   /// shedded in the receiving replica's ServerStats).
   [[nodiscard]] std::uint64_t quota_shed_count() const noexcept {

@@ -5,8 +5,10 @@
 #include <utility>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/capacity.hpp"
 #include "obs/metrics.hpp"
 #include "serve/shared_device.hpp"
+#include "util/logging.hpp"
 
 namespace mfdfp::serve {
 
@@ -17,8 +19,32 @@ ModelHandle ModelServer::deploy(const std::string& name,
   if (shutdown_.load(std::memory_order_acquire)) {
     throw std::logic_error("ModelServer: deploy after shutdown");
   }
+  // Facts of every *other* deployed model, snapshotted under the lifecycle
+  // lock (no deploy/undeploy can interleave): a candidate sharing a PU
+  // with them must be proven against their blocking and vice versa. A
+  // same-name entry is excluded — the candidate supersedes it, so proving
+  // the new placement against the version it replaces would be analyzing a
+  // world that never serves.
+  std::vector<analysis::ModelFacts> coresident;
+  for (const ModelHandle& handle : registry_.models()) {
+    if (handle.name == name) continue;
+    const std::shared_ptr<ReplicaSet> set = registry_.find(handle.name);
+    if (set) coresident.push_back(set->capacity_facts());
+  }
+  const auto validate = [&coresident, &name](const ReplicaSet& candidate) {
+    std::vector<analysis::ModelFacts> facts = coresident;
+    facts.push_back(candidate.capacity_facts());
+    const analysis::CapacityReport report = analysis::analyze_capacity(facts);
+    if (report.feasible()) return;
+    if (candidate.config().envelope.warn_only) {
+      util::log_warn("deploy(" + name + "): " + report.summary());
+      return;
+    }
+    throw DeployError(StatusCode::kInfeasibleSlo, report.summary());
+  };
   try {
-    return registry_.deploy(name, std::move(members), std::move(config));
+    return registry_.deploy(name, std::move(members), std::move(config),
+                            validate);
   } catch (const analysis::PlanRejectedError& error) {
     // Surface analyzer rejections (thrown inside plan compilation, deep in
     // backend construction) as the typed deploy-time status.
@@ -55,6 +81,15 @@ void ModelServer::shutdown() {
   // after this store — it reads the flag as true and reports kShuttingDown.
   shutdown_.store(true, std::memory_order_release);
   registry_.clear();
+}
+
+analysis::CapacityReport ModelServer::capacity_report() const {
+  std::vector<analysis::ModelFacts> facts;
+  for (const ModelHandle& handle : registry_.models()) {
+    const std::shared_ptr<ReplicaSet> set = registry_.find(handle.name);
+    if (set) facts.push_back(set->capacity_facts());
+  }
+  return analysis::analyze_capacity(facts);
 }
 
 StatsSnapshot ModelServer::stats(const std::string& model) const {

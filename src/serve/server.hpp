@@ -60,6 +60,16 @@ class ModelServer {
   /// Deploys (or hot-redeploys) a model as config.num_replicas engine
   /// replicas. Throws std::invalid_argument on an empty name/member list
   /// and std::logic_error after shutdown().
+  ///
+  /// When any deployed model (the candidate included) declares a
+  /// TrafficEnvelope, the deploy-time capacity analyzer
+  /// (analysis/capacity.hpp) first proves the combined placement can meet
+  /// every declared deadline — candidate and co-resident models are
+  /// analyzed together, so a new tenant that would break a neighbour's
+  /// proven SLO on a shared PU is refused too. Infeasible placements throw
+  /// DeployError{kInfeasibleSlo} before serving a single request, unless
+  /// the candidate's envelope sets warn_only (the violated proofs are
+  /// logged and stay visible through capacity_report()).
   ModelHandle deploy(const std::string& name,
                      std::vector<hw::QNetDesc> members,
                      DeployConfig config = {}) EXCLUDES(lifecycle_mutex_);
@@ -86,6 +96,12 @@ class ModelServer {
   /// Per-model stats snapshot, aggregated across the model's replicas
   /// (empty snapshot for unknown names).
   [[nodiscard]] StatsSnapshot stats(const std::string& model) const;
+
+  /// The capacity analyzer's findings over everything deployed right now
+  /// — the same proofs deploy() gates on, re-derived from the live
+  /// registry (examples/serving_demo prints this table beside the
+  /// measured stats). Empty findings when no model declares an envelope.
+  [[nodiscard]] analysis::CapacityReport capacity_report() const;
 
   /// The whole server's metrics in Prometheus text exposition format: one
   /// scrape-ready dump covering every deployed model — request outcome

@@ -207,194 +207,203 @@ std::vector<SharedDevice::Job*> SharedDevice::next_pass_locked() {
   return pass;
 }
 
+std::size_t SharedDevice::pending_samples_locked() const {
+  std::size_t samples = 0;
+  for (const Tenant* tenant : active_) {
+    for (const Job* job : tenant->lane) samples += job->samples;
+  }
+  return samples;
+}
+
+void SharedDevice::wait_for_work_locked() {
+  work_ready_.wait(mutex_, [this]() REQUIRES(mutex_) {
+    return stop_ || pending_samples_locked() > 0;
+  });
+  if (!config_.cobatch || config_.coalesce_window_us <= 0 || stop_) return;
+  // Give just-woken engine workers a bounded beat to refill the lanes,
+  // so passes form full instead of racing the resubmission (see
+  // SharedDeviceConfig::coalesce_window_us). The window ends early
+  // both when a full pass is pending and when a whole slice elapses
+  // with no new arrivals — resubmission after a pass retires takes
+  // microseconds, so one quiet slice means the refill burst is over
+  // and waiting longer would only stall deployments whose engines
+  // cannot fill max_pass_samples at all.
+  const auto slice = std::chrono::microseconds(
+      std::min<std::int64_t>(config_.coalesce_window_us, 100));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(config_.coalesce_window_us);
+  std::size_t seen = pending_samples_locked();
+  while (!stop_ && seen < config_.max_pass_samples &&
+         std::chrono::steady_clock::now() < deadline) {
+    const bool timed_out =
+        work_ready_.wait_for(mutex_, slice) == std::cv_status::timeout;
+    const std::size_t now_pending = pending_samples_locked();
+    if (timed_out && now_pending == seen) break;  // refill went quiet
+    seen = now_pending;
+  }
+}
+
+SharedDevice::PassPlan SharedDevice::plan_pass_locked() {
+  // Plan the pass while still holding the lock: contiguous same-tenant
+  // ranges ("groups"), each paying one weight reload iff its model is
+  // not the resident one. Jobs already left the lanes, so concurrent
+  // submitters cannot perturb the plan.
+  PassPlan plan;
+  plan.jobs = next_pass_locked();
+  for (std::size_t i = 0; i < plan.jobs.size(); ++i) {
+    plan.samples += plan.jobs[i]->samples;
+    if (plan.groups.empty() ||
+        plan.groups.back().tenant != plan.jobs[i]->owner) {
+      PassPlan::Group group;
+      group.begin = i;
+      group.tenant = plan.jobs[i]->owner;
+      group.switched = resident_ != plan.jobs[i]->owner;
+      if (group.switched) plan.switch_total_us += group.tenant->switch_us;
+      resident_ = plan.jobs[i]->owner;
+      plan.groups.push_back(group);
+    }
+    plan.groups.back().end = i + 1;
+    plan.groups.back().samples += plan.jobs[i]->samples;
+  }
+  return plan;
+}
+
+void SharedDevice::execute_pass(PassPlan& plan, hw::ExecScratch& scratch,
+                                bool& thread_labeled) {
+  obs::TraceRecorder& rec = obs::trace();
+  const bool tracing = rec.enabled();
+  if (tracing && !thread_labeled) {
+    // Lazy: name this PU's dispatcher track the first time tracing is on.
+    rec.set_thread_label(rec.intern("pu/" + spec_.name));
+    thread_labeled = true;
+  }
+
+  plan.start_us = util::Stopwatch::now_us();
+  // Execute every sub-batch through its own tenant's bit-accurate
+  // executors, group by group — pass composition can never change the
+  // logits.
+  double compute_total_us = 0.0;
+  for (const PassPlan::Group& group : plan.groups) {
+    const std::int64_t group_start = util::Stopwatch::now_us();
+    if (tracing && group.switched) {
+      rec.record_instant("weight_reload", "pu", group_start, 0,
+                         "switch_us",
+                         static_cast<std::int64_t>(group.tenant->switch_us),
+                         group.tenant->trace_model);
+    }
+    for (std::size_t i = group.begin; i < group.end; ++i) {
+      Job* job = plan.jobs[i];
+      job->result = job->owner->sim->execute(*job->stacked, scratch);
+      compute_total_us += job->result.sim_accel_us;
+    }
+    if (tracing) {
+      // One span per model riding this pass: co-batch membership is
+      // visible as adjacent tenant_group spans under one pu_pass.
+      rec.record_span("tenant_group", "pu", group_start,
+                      util::Stopwatch::now_us() - group_start, 0, "samples",
+                      static_cast<std::int64_t>(group.samples),
+                      group.tenant->trace_model);
+    }
+  }
+  plan.cost_us =
+      config_.pass_overhead_us + plan.switch_total_us + compute_total_us;
+
+  if (config_.paced) {
+    // The device is the single pacing authority: hold the whole pass
+    // until the modeled PU would have finished it.
+    const std::int64_t target_us =
+        plan.start_us + static_cast<std::int64_t>(plan.cost_us);
+    const std::int64_t now = util::Stopwatch::now_us();
+    if (target_us > now) {
+      std::this_thread::sleep_for(std::chrono::microseconds(target_us - now));
+    }
+  }
+
+  if (tracing) {
+    rec.record_span("pu_pass", "pu", plan.start_us,
+                    util::Stopwatch::now_us() - plan.start_us, 0, "samples",
+                    static_cast<std::int64_t>(plan.samples));
+  }
+}
+
+void SharedDevice::retire_pass_locked(PassPlan& plan) {
+  std::size_t distinct_models = 0;
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    if (g == 0 ||
+        plan.groups[g].tenant->model != plan.groups[g - 1].tenant->model) {
+      ++distinct_models;
+    }
+  }
+  obs::TraceRecorder& rec = obs::trace();
+  if (rec.enabled() && distinct_models > 1) {
+    rec.record_instant("cobatched_pass", "pu", plan.start_us, 0, "models",
+                       static_cast<std::int64_t>(distinct_models));
+  }
+  ++passes_;
+  if (distinct_models > 1) ++cobatched_passes_;
+  for (const PassPlan::Group& group : plan.groups) {
+    model_switches_ += group.switched;
+  }
+  busy_us_ += plan.cost_us;
+  switch_busy_us_ += plan.switch_total_us;
+
+  // Retire the pass: attribute its cost exactly across the sub-batches
+  // (compute is each job's own; overhead splits by pass samples; each
+  // group's reload splits by that group's samples), so the tenants' busy
+  // times sum to the device's and a shared PU can never read > 100%
+  // utilized from its tenants' rows.
+  for (const PassPlan::Group& group : plan.groups) {
+    for (std::size_t i = group.begin; i < group.end; ++i) {
+      Job* job = plan.jobs[i];
+      Tenant& tenant = *job->owner;
+      const double sample_share =
+          plan.samples == 0 ? 0.0
+                            : static_cast<double>(job->samples) /
+                                  static_cast<double>(plan.samples);
+      const double group_share =
+          group.samples == 0 ? 0.0
+                             : static_cast<double>(job->samples) /
+                                   static_cast<double>(group.samples);
+      const double attributed_us =
+          job->result.sim_accel_us +
+          config_.pass_overhead_us * sample_share +
+          (group.switched ? tenant.switch_us * group_share : 0.0);
+      // DMA: activations always stream; weights only crossed the bus if
+      // this group actually reloaded them (resident otherwise).
+      const double weight_bytes = tenant.sim->batch_dma_bytes(0);
+      const double act_bytes =
+          tenant.sim->batch_dma_bytes(job->samples) - weight_bytes;
+      job->result.sim_accel_us = attributed_us;
+      job->result.sim_dma_bytes =
+          act_bytes + (group.switched ? weight_bytes * group_share : 0.0);
+
+      tenant.sub_batches += 1;
+      tenant.samples += job->samples;
+      tenant.busy_us += attributed_us;
+      tenant.pending_us = std::max(0.0, tenant.pending_us - job->est_cost_us);
+      job->done = true;
+    }
+  }
+}
+
 void SharedDevice::dispatch_main() {
   hw::ExecScratch scratch;
   bool thread_labeled = false;
-  // unique_lock over the annotated mutex: this loop releases the lock for
-  // the duration of each pass's execution and re-acquires it to retire the
-  // pass, which is why dispatch_main() opts out of the static analysis.
-  std::unique_lock<util::Mutex> lock(mutex_);
   for (;;) {
-    const auto lanes_pending = [this]() REQUIRES(mutex_) {
-      std::size_t samples = 0;
-      for (const Tenant* tenant : active_) {
-        for (const Job* job : tenant->lane) samples += job->samples;
-      }
-      return samples;
-    };
-    work_ready_.wait(mutex_, [this, &lanes_pending]() REQUIRES(mutex_) {
-      return stop_ || lanes_pending() > 0;
-    });
-    if (config_.cobatch && config_.coalesce_window_us > 0 && !stop_) {
-      // Give just-woken engine workers a bounded beat to refill the lanes,
-      // so passes form full instead of racing the resubmission (see
-      // SharedDeviceConfig::coalesce_window_us). The window ends early
-      // both when a full pass is pending and when a whole slice elapses
-      // with no new arrivals — resubmission after a pass retires takes
-      // microseconds, so one quiet slice means the refill burst is over
-      // and waiting longer would only stall deployments whose engines
-      // cannot fill max_pass_samples at all.
-      const auto slice = std::chrono::microseconds(
-          std::min<std::int64_t>(config_.coalesce_window_us, 100));
-      const auto deadline =
-          std::chrono::steady_clock::now() +
-          std::chrono::microseconds(config_.coalesce_window_us);
-      std::size_t seen = lanes_pending();
-      while (!stop_ && seen < config_.max_pass_samples &&
-             std::chrono::steady_clock::now() < deadline) {
-        const bool timed_out =
-            work_ready_.wait_for(mutex_, slice) == std::cv_status::timeout;
-        const std::size_t now_pending = lanes_pending();
-        if (timed_out && now_pending == seen) break;  // refill went quiet
-        seen = now_pending;
+    PassPlan plan;
+    {
+      util::MutexLock lock(mutex_);
+      wait_for_work_locked();
+      plan = plan_pass_locked();
+      if (plan.jobs.empty()) {
+        if (stop_) return;
+        continue;
       }
     }
-    std::vector<Job*> pass = next_pass_locked();
-    if (pass.empty()) {
-      if (stop_) return;
-      continue;
-    }
-
-    // Plan the pass while still holding the lock: contiguous same-tenant
-    // ranges ("groups"), each paying one weight reload iff its model is
-    // not the resident one. Jobs already left the lanes, so concurrent
-    // submitters cannot perturb the plan.
-    struct Group {
-      std::size_t begin = 0, end = 0;  ///< [begin, end) into `pass`
-      Tenant* tenant = nullptr;
-      std::size_t samples = 0;
-      bool switched = false;
-    };
-    std::vector<Group> groups;
-    std::size_t pass_samples = 0;
-    double switch_total_us = 0.0;
-    for (std::size_t i = 0; i < pass.size(); ++i) {
-      pass_samples += pass[i]->samples;
-      if (groups.empty() || groups.back().tenant != pass[i]->owner) {
-        Group group;
-        group.begin = i;
-        group.tenant = pass[i]->owner;
-        group.switched = resident_ != pass[i]->owner;
-        if (group.switched) switch_total_us += group.tenant->switch_us;
-        resident_ = pass[i]->owner;
-        groups.push_back(group);
-      }
-      groups.back().end = i + 1;
-      groups.back().samples += pass[i]->samples;
-    }
-    lock.unlock();
-
-    obs::TraceRecorder& rec = obs::trace();
-    const bool tracing = rec.enabled();
-    if (tracing && !thread_labeled) {
-      // Lazy: name this PU's dispatcher track the first time tracing is on.
-      rec.set_thread_label(rec.intern("pu/" + spec_.name));
-      thread_labeled = true;
-    }
-
-    const std::int64_t pass_start = util::Stopwatch::now_us();
-    // Execute every sub-batch through its own tenant's bit-accurate
-    // executors, group by group — pass composition can never change the
-    // logits.
-    double compute_total_us = 0.0;
-    for (const Group& group : groups) {
-      const std::int64_t group_start = util::Stopwatch::now_us();
-      if (tracing && group.switched) {
-        rec.record_instant("weight_reload", "pu", group_start, 0,
-                           "switch_us",
-                           static_cast<std::int64_t>(group.tenant->switch_us),
-                           group.tenant->trace_model);
-      }
-      for (std::size_t i = group.begin; i < group.end; ++i) {
-        Job* job = pass[i];
-        job->result = job->owner->sim->execute(*job->stacked, scratch);
-        compute_total_us += job->result.sim_accel_us;
-      }
-      if (tracing) {
-        // One span per model riding this pass: co-batch membership is
-        // visible as adjacent tenant_group spans under one pu_pass.
-        rec.record_span("tenant_group", "pu", group_start,
-                        util::Stopwatch::now_us() - group_start, 0, "samples",
-                        static_cast<std::int64_t>(group.samples),
-                        group.tenant->trace_model);
-      }
-    }
-    const double pass_cost_us =
-        config_.pass_overhead_us + switch_total_us + compute_total_us;
-
-    if (config_.paced) {
-      // The device is the single pacing authority: hold the whole pass
-      // until the modeled PU would have finished it.
-      const std::int64_t target_us =
-          pass_start + static_cast<std::int64_t>(pass_cost_us);
-      const std::int64_t now = util::Stopwatch::now_us();
-      if (target_us > now) {
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(target_us - now));
-      }
-    }
-
-    if (tracing) {
-      rec.record_span("pu_pass", "pu", pass_start,
-                      util::Stopwatch::now_us() - pass_start, 0, "samples",
-                      static_cast<std::int64_t>(pass_samples));
-    }
-
-    lock.lock();
-    std::size_t distinct_models = 0;
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      if (g == 0 || groups[g].tenant->model != groups[g - 1].tenant->model) {
-        ++distinct_models;
-      }
-    }
-    if (tracing && distinct_models > 1) {
-      rec.record_instant("cobatched_pass", "pu", pass_start, 0, "models",
-                         static_cast<std::int64_t>(distinct_models));
-    }
-    ++passes_;
-    if (distinct_models > 1) ++cobatched_passes_;
-    for (const Group& group : groups) model_switches_ += group.switched;
-    busy_us_ += pass_cost_us;
-    switch_busy_us_ += switch_total_us;
-
-    // Retire the pass: attribute its cost exactly across the sub-batches
-    // (compute is each job's own; overhead splits by pass samples; each
-    // group's reload splits by that group's samples), so the tenants' busy
-    // times sum to the device's and a shared PU can never read > 100%
-    // utilized from its tenants' rows.
-    for (const Group& group : groups) {
-      for (std::size_t i = group.begin; i < group.end; ++i) {
-        Job* job = pass[i];
-        Tenant& tenant = *job->owner;
-        const double sample_share =
-            pass_samples == 0 ? 0.0
-                              : static_cast<double>(job->samples) /
-                                    static_cast<double>(pass_samples);
-        const double group_share =
-            group.samples == 0 ? 0.0
-                               : static_cast<double>(job->samples) /
-                                     static_cast<double>(group.samples);
-        const double attributed_us =
-            job->result.sim_accel_us +
-            config_.pass_overhead_us * sample_share +
-            (group.switched ? tenant.switch_us * group_share : 0.0);
-        // DMA: activations always stream; weights only crossed the bus if
-        // this group actually reloaded them (resident otherwise).
-        const double weight_bytes = tenant.sim->batch_dma_bytes(0);
-        const double act_bytes =
-            tenant.sim->batch_dma_bytes(job->samples) - weight_bytes;
-        job->result.sim_accel_us = attributed_us;
-        job->result.sim_dma_bytes =
-            act_bytes +
-            (group.switched ? weight_bytes * group_share : 0.0);
-
-        tenant.sub_batches += 1;
-        tenant.samples += job->samples;
-        tenant.busy_us += attributed_us;
-        tenant.pending_us =
-            std::max(0.0, tenant.pending_us - job->est_cost_us);
-        job->done = true;
-      }
+    execute_pass(plan, scratch, thread_labeled);
+    {
+      util::MutexLock lock(mutex_);
+      retire_pass_locked(plan);
     }
     pass_retired_.notify_all();
   }

@@ -252,6 +252,28 @@ class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
     double pending_us = 0.0;
   };
 
+  /// One planned device pass, handed between the dispatch loop's phases:
+  /// the jobs popped from the lanes, their contiguous same-tenant groups
+  /// (each paying at most one weight reload), and the cost totals the
+  /// execute/retire phases fill in. Planned and retired under mutex_;
+  /// executed without it (the jobs already left the lanes, so no
+  /// concurrent submitter can reach them).
+  struct PassPlan {
+    struct Group {
+      std::size_t begin = 0, end = 0;  ///< [begin, end) into `jobs`
+      Tenant* tenant = nullptr;
+      std::size_t samples = 0;
+      bool switched = false;  ///< pays this tenant's weight reload
+    };
+    std::vector<Job*> jobs;
+    std::vector<Group> groups;
+    std::size_t samples = 0;
+    double switch_total_us = 0.0;
+    /// Filled by execute_pass: modeled pass cost and wall start time.
+    double cost_us = 0.0;
+    std::int64_t start_us = 0;
+  };
+
   SharedDevice(DeviceSpec spec, SharedDeviceConfig config);
 
   /// Enqueues `job` into its tenant lane and blocks until its pass retires
@@ -267,11 +289,35 @@ class SharedDevice : public std::enable_shared_from_this<SharedDevice> {
   [[nodiscard]] double backlog_excluding_us(const Tenant* tenant) const
       EXCLUDES(mutex_);
 
-  /// The dispatch thread's loop. Cycles mutex_ manually (held while
-  /// planning/retiring a pass, dropped while executing it), a shape the
-  /// static analysis cannot follow — the body opts out; every helper it
-  /// calls still declares its own contract.
-  void dispatch_main() NO_THREAD_SAFETY_ANALYSIS;
+  /// The dispatch thread's loop. Each iteration is two MutexLock scopes
+  /// around a lock-free execution phase: {wait for work, plan a pass}
+  /// under mutex_, execute/pace it unlocked, {retire it} under mutex_ —
+  /// every locked phase is a REQUIRES-annotated helper, so the whole loop
+  /// stays inside the static analysis (no opt-out).
+  void dispatch_main() EXCLUDES(mutex_);
+
+  /// Samples currently queued across all active tenant lanes.
+  [[nodiscard]] std::size_t pending_samples_locked() const REQUIRES(mutex_);
+
+  /// Blocks until work is pending (or stop), then holds pass formation for
+  /// the coalesce window so just-woken engine workers can refill the lanes
+  /// (see SharedDeviceConfig::coalesce_window_us).
+  void wait_for_work_locked() REQUIRES(mutex_);
+
+  /// Pops the next pass (next_pass_locked) and plans its execution:
+  /// contiguous same-tenant groups, each paying one weight reload iff its
+  /// model is not the resident one; updates resident_.
+  [[nodiscard]] PassPlan plan_pass_locked() REQUIRES(mutex_);
+
+  /// Executes a planned pass through the tenants' bit-accurate executors,
+  /// records trace spans, and (when paced) holds it until its modeled
+  /// completion. Touches no lane/accounting state — runs unlocked.
+  void execute_pass(PassPlan& plan, hw::ExecScratch& scratch,
+                    bool& thread_labeled) EXCLUDES(mutex_);
+
+  /// Retires an executed pass: bumps the device counters and attributes
+  /// the pass cost exactly across its sub-batches, marking each job done.
+  void retire_pass_locked(PassPlan& plan) REQUIRES(mutex_);
 
   /// Pops the next pass from the tenant lanes: strict round-robin one
   /// sub-batch per pass when cobatch is off; otherwise round-robin across
@@ -350,6 +396,12 @@ class SharedDeviceBackend final : public ExecutionBackend {
     return device_->config().paced;
   }
   [[nodiscard]] double cross_tenant_backlog_us() const noexcept override;
+  /// This tenant's weight-reload penalty on the shared PU, microseconds
+  /// (priced once at attach; the blocking term the deploy-time capacity
+  /// analyzer and ReplicaSet::capacity_facts() build bounds from).
+  [[nodiscard]] double switch_us() const noexcept {
+    return tenant_->switch_us;
+  }
   /// Forwards to SharedDevice::bind_tenant_load for this tenant.
   void bind_load_provider(
       std::function<double()> outstanding_us) const override;

@@ -47,6 +47,10 @@ enum class StatusCode {
   /// static analyzer (src/analysis): possible accumulator overflow or an
   /// inconsistent DFP radix chain for the deployed geometry.
   kUnsafePlan,
+  /// deploy() refused a placement whose declared TrafficEnvelope fails a
+  /// schedulability proof obligation (src/analysis/capacity.hpp): the
+  /// placement cannot meet its deadlines, so it never serves a request.
+  kInfeasibleSlo,
 };
 
 /// True when `code` means the request was served and the logits are valid.
@@ -66,6 +70,7 @@ enum class StatusCode {
     case StatusCode::kShedded:          return "shedded";
     case StatusCode::kInvalidConfig:    return "invalid_config";
     case StatusCode::kUnsafePlan:       return "unsafe_plan";
+    case StatusCode::kInfeasibleSlo:    return "infeasible_slo";
   }
   return "unknown";
 }
@@ -85,13 +90,16 @@ enum class StatusCode {
     case StatusCode::kShedded:          return "shedded by admission control";
     case StatusCode::kInvalidConfig:    return "invalid deploy config";
     case StatusCode::kUnsafePlan:       return "plan rejected by analyzer";
+    case StatusCode::kInfeasibleSlo:    return "placement fails its SLO";
   }
   return "unknown error";
 }
 
 /// Typed deploy-time rejection: carries the StatusCode explaining *why*
 /// deploy() refused (kInvalidConfig for nonsensical DeployConfigs,
-/// kUnsafePlan when the numeric analyzer rejected the compiled plan).
+/// kUnsafePlan when the numeric analyzer rejected the compiled plan,
+/// kInfeasibleSlo when the capacity analyzer proved the placement cannot
+/// meet its declared TrafficEnvelope).
 /// Derives from std::invalid_argument so callers of the pre-typed API
 /// keep catching what they always caught; new code dispatches on code().
 class DeployError : public std::invalid_argument {
