@@ -19,7 +19,15 @@
 //     p99 must stay under a bound derived from the device's own pass cost
 //     (5 max-cost passes): per-tenant fair pass formation means a probe
 //     rides one of the next passes instead of queueing behind the
-//     neighbour's whole backlog (~16 passes deep).
+//     neighbour's whole backlog (~16 passes deep);
+//  4. preemptible tail — the same flood-vs-probes duel with
+//     preempt_granularity_us set: passes execute as bounded chunks and a
+//     probe boards at the next chunk boundary (joining the in-flight pass,
+//     since the tenants share geometry) instead of waiting out a whole
+//     maximal pass. The probes' p99 must fit inside TWO preemption chunks
+//     (2 x (granularity + switch)) — a 12x tighter envelope than phase 3's
+//     five maximal passes — with logits still bit-identical and at least
+//     one sub-batch provably joining an in-flight pass.
 //
 // Emits a JSON fragment (path = argv[1], default ./BENCH_shared_pu.json);
 // scripts/run_bench.sh folds it into BENCH_serve.json next to the git SHA.
@@ -71,6 +79,17 @@ constexpr double kTargetSampleUs = 400.0;
 constexpr double kSwitchUs = 1000.0;
 constexpr std::size_t kMaxPassSamples = 32;
 constexpr std::size_t kEngineMaxBatch = 4;
+/// Engine-side batching window — probes wait at most this long for the
+/// worker to form their sub-batch before it reaches the device.
+constexpr double kEngineMaxWaitUs = 200.0;
+/// Probes per interactive burst in phase 4 (matches interactive_burst in
+/// bench/envelopes/shared_pu_preempt.envelope).
+constexpr std::size_t kProbeBurst = 4;
+/// Phase 4's chunk budget: a pass suspends (or admits joiners) at least
+/// every ~10 samples of modeled compute. Mirrors
+/// bench/envelopes/shared_pu_preempt.envelope, which proves the analyzer
+/// bound for exactly this configuration.
+constexpr double kPreemptGranularityUs = 4000.0;
 
 serve::SharedDeviceConfig pu_config(bool cobatch, bool paced) {
   serve::SharedDeviceConfig config;
@@ -92,7 +111,7 @@ serve::DeployConfig tenant_config(
   // dispatch thread serializes and paces actual execution either way.
   config.workers = 4;
   config.max_batch = kEngineMaxBatch;
-  config.max_wait_us = 200;
+  config.max_wait_us = static_cast<std::int64_t>(kEngineMaxWaitUs);
   config.queue_capacity = 8192;
   config.placement = {serve::DeviceSpec::on(pu)};
   config.accel = accel;
@@ -190,6 +209,102 @@ std::int64_t run_interference_tail(const hw::QNetDesc& qnet_a,
   return probe_e2e.p99();
 }
 
+struct PreemptTailResult {
+  std::int64_t p99_us = 0;
+  bool bit_identical = true;
+  serve::SharedDeviceSnapshot device;
+};
+
+/// Phase 3's flood-vs-probes duel on a preemptible PU
+/// (preempt_granularity_us = kPreemptGranularityUs): probes board the
+/// flood's in-flight passes at chunk boundaries, so their latency is
+/// bounded by chunks, not whole maximal passes. Every probe's logits are
+/// checked bit-identical against the tenant's own per-sample executor —
+/// chunking and mid-pass joins must not change a single bit.
+PreemptTailResult run_preemptible_tail(const hw::QNetDesc& qnet_a,
+                                       const hw::QNetDesc& qnet_b,
+                                       const hw::AcceleratorConfig& accel,
+                                       const Tensor& images) {
+  const std::size_t rounds = bench::quick_mode() ? 4 : 8;
+  constexpr std::size_t kBurst = kProbeBurst;
+  constexpr std::size_t kBacklog = 64;
+
+  serve::SharedDeviceConfig config = pu_config(/*cobatch=*/true,
+                                               /*paced=*/true);
+  config.preempt_granularity_us = kPreemptGranularityUs;
+  if (std::getenv("MFDFP_DEBUG_PREEMPT") != nullptr) {
+    config.chunk_hook = [](const serve::SharedDeviceChunkEvent& event) {
+      std::fprintf(stderr,
+                   "chunk t=%lld pass=%llu model=%s samples=%zu "
+                   "remaining=%zu interactive=%d preempting=%d\n",
+                   (long long)util::Stopwatch::now_us(),
+                   (unsigned long long)event.pass, event.model.c_str(),
+                   event.chunk_samples, event.remaining_samples,
+                   (int)event.interactive_pass, (int)event.preempting);
+    };
+  }
+  auto pu = serve::SharedDevice::create({}, config);
+  serve::ModelServer server;
+  server.deploy("a", {qnet_a}, tenant_config(pu, accel));
+  server.deploy("b", {qnet_b}, tenant_config(pu, accel));
+  const auto flood_set = server.replica_set("b");
+  const hw::AcceleratorExecutor ref_a(qnet_a);
+
+  const std::size_t pool = images.shape().n();
+  std::size_t next_image = 0;
+  auto sample_index = [&] { return next_image++ % pool; };
+
+  serve::SubmitOptions batch_options;
+  batch_options.priority = serve::Priority::kBatch;
+  batch_options.deadline_us = 0;
+  serve::SubmitOptions interactive_options;
+  interactive_options.priority = serve::Priority::kInteractive;
+  interactive_options.deadline_us = 0;
+
+  std::vector<std::future<serve::Response>> backlog;
+  std::vector<std::pair<std::size_t, std::future<serve::Response>>> probes;
+  PreemptTailResult result;
+  util::LatencyHistogram probe_e2e;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    while (flood_set->queue_depth() < kBacklog) {
+      const std::size_t i = sample_index();
+      backlog.push_back(server.submit(
+          "b", tensor::slice_outer(images, i, i + 1), batch_options));
+    }
+    for (std::size_t p = 0; p < kBurst; ++p) {
+      const std::size_t i = sample_index();
+      probes.emplace_back(i,
+                          server.submit("a",
+                                        tensor::slice_outer(images, i, i + 1),
+                                        interactive_options));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& [img, probe] : probes) {
+    const serve::Response response = probe.get();
+    if (!serve::ok(response.status)) std::abort();
+    if (std::getenv("MFDFP_DEBUG_PREEMPT") != nullptr) {
+      std::fprintf(stderr,
+                   "probe e2e=%lld queue_wait=%lld service=%lld batch=%zu\n",
+                   (long long)response.e2e_us,
+                   (long long)response.queue_wait_us,
+                   (long long)response.service_us, response.batch_size);
+    }
+    probe_e2e.record(response.e2e_us);
+    const Tensor sample = tensor::slice_outer(images, img, img + 1);
+    if (tensor::max_abs_diff(response.logits, ref_a.run(sample)) != 0.0f) {
+      result.bit_identical = false;
+    }
+  }
+  server.shutdown();
+  for (auto& future : backlog) {
+    if (!serve::ok(future.get().status)) std::abort();
+  }
+  result.p99_us = probe_e2e.p99();
+  result.device = pu->snapshot();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,16 +330,26 @@ int main(int argc, char** argv) {
   }
 
   // ---- Phase 1: co-batched execution, bit-identical logits ----------------
-  bool bit_identical = true;
-  std::uint64_t correctness_cobatched = 0;
-  {
+  // Runs twice: once monolithic and once with the pass chunked every
+  // ~2 samples (900us budget at 400us/sample), so chunk boundaries
+  // provably split sub-batches mid-tensor without changing a bit.
+  struct CorrectnessResult {
+    bool bit_identical = true;
+    std::uint64_t cobatched = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t passes = 0;
+  };
+  const auto run_correctness = [&](double granularity_us) {
+    CorrectnessResult result;
     const hw::AcceleratorExecutor ref_a(qnet_a);
     const hw::AcceleratorExecutor ref_b(qnet_b);
     // Paced: while one pass sleeps out its ~400us/sample modeled cost,
     // both models' engines keep feeding the lanes, so later passes
     // provably mix the two models (enforced below).
-    auto pu = serve::SharedDevice::create(
-        {}, pu_config(/*cobatch=*/true, /*paced=*/true));
+    serve::SharedDeviceConfig config = pu_config(/*cobatch=*/true,
+                                                 /*paced=*/true);
+    config.preempt_granularity_us = granularity_us;
+    auto pu = serve::SharedDevice::create({}, config);
     serve::ModelServer server;
     server.deploy("a", {qnet_a}, tenant_config(pu, accel));
     server.deploy("b", {qnet_b}, tenant_config(pu, accel));
@@ -246,17 +371,32 @@ int main(int argc, char** argv) {
           ra.device != pu->spec().name || rb.device != pu->spec().name ||
           tensor::max_abs_diff(ra.logits, ref_a.run(sample)) != 0.0f ||
           tensor::max_abs_diff(rb.logits, ref_b.run(sample)) != 0.0f) {
-        bit_identical = false;
+        result.bit_identical = false;
       }
     }
     server.shutdown();
-    correctness_cobatched = pu->snapshot().cobatched_passes;
-    if (correctness_cobatched == 0) bit_identical = false;
-  }
+    const serve::SharedDeviceSnapshot snapshot = pu->snapshot();
+    result.cobatched = snapshot.cobatched_passes;
+    result.chunks = snapshot.chunks;
+    result.passes = snapshot.passes;
+    if (result.cobatched == 0) result.bit_identical = false;
+    return result;
+  };
+  const CorrectnessResult mono = run_correctness(0.0);
+  const CorrectnessResult chunked = run_correctness(900.0);
+  const bool bit_identical = mono.bit_identical && chunked.bit_identical &&
+                             chunked.chunks > chunked.passes;
+  const std::uint64_t correctness_cobatched = mono.cobatched;
   std::printf("phase 1: co-batched logits bit-identical to run(): %s "
-              "(%llu cross-model passes)\n",
-              bit_identical ? "yes" : "NO",
-              static_cast<unsigned long long>(correctness_cobatched));
+              "(%llu cross-model passes); chunked rerun: %s "
+              "(%llu chunks over %llu passes)\n",
+              mono.bit_identical ? "yes" : "NO",
+              static_cast<unsigned long long>(mono.cobatched),
+              chunked.bit_identical && chunked.chunks > chunked.passes
+                  ? "yes"
+                  : "NO",
+              static_cast<unsigned long long>(chunked.chunks),
+              static_cast<unsigned long long>(chunked.passes));
 
   // ---- Phase 2: co-batching vs time-sliced serialization ------------------
   const std::size_t requests = bench::quick_mode() ? 96 : 192;
@@ -305,6 +445,30 @@ int main(int argc, char** argv) {
               static_cast<long long>(probe_p99),
               static_cast<long long>(p99_bound_us));
 
+  // ---- Phase 4: preemptible PU — the tail shrinks to chunks ---------------
+  const PreemptTailResult preempt =
+      run_preemptible_tail(qnet_a, qnet_b, accel, images);
+  // A probe boards at the next chunk boundary: worst case it waits out
+  // the chunk in flight plus one partial chunk draining the sub-batch on
+  // the cursor — two preempt-granularity chunks of blocking, each at most
+  // granularity + a weight reload — then the engine batching window and
+  // the burst's own reload + execution. This is exactly the analyzer's
+  // proved bound in bench/envelopes/shared_pu_preempt.envelope
+  // (2*5000 + 200 + 1600 + 1000 = 12800 us), so the gate below
+  // empirically validates the static proof — ~6x tighter than phase 3's
+  // five-maximal-pass bound.
+  const std::int64_t preempt_p99_bound_us = static_cast<std::int64_t>(
+      2.0 * (kPreemptGranularityUs + kSwitchUs) + kEngineMaxWaitUs +
+      static_cast<double>(kProbeBurst) * kTargetSampleUs + kSwitchUs);
+  std::printf("phase 4: preemptible-PU interactive p99 under the same "
+              "flood: %lld us (bound %lld us, %llu chunks over %llu "
+              "passes, %llu joined sub-batches)\n",
+              static_cast<long long>(preempt.p99_us),
+              static_cast<long long>(preempt_p99_bound_us),
+              static_cast<unsigned long long>(preempt.device.chunks),
+              static_cast<unsigned long long>(preempt.device.passes),
+              static_cast<unsigned long long>(preempt.device.joined_jobs));
+
   // ---- Report + acceptance ------------------------------------------------
   std::ofstream json(json_path);
   json << "{\n"
@@ -324,7 +488,16 @@ int main(int argc, char** argv) {
        << "  \"switches_cobatch\": " << device_cobatch.model_switches
        << ",\n"
        << "  \"interactive_p99_us\": " << probe_p99 << ",\n"
-       << "  \"interactive_p99_bound_us\": " << p99_bound_us << "\n"
+       << "  \"interactive_p99_bound_us\": " << p99_bound_us << ",\n"
+       << "  \"preempt_granularity_us\": " << kPreemptGranularityUs << ",\n"
+       << "  \"preempt_p99_us\": " << preempt.p99_us << ",\n"
+       << "  \"preempt_p99_bound_us\": " << preempt_p99_bound_us << ",\n"
+       << "  \"preempt_bit_identical\": "
+       << (preempt.bit_identical ? "true" : "false") << ",\n"
+       << "  \"preempt_chunks\": " << preempt.device.chunks << ",\n"
+       << "  \"preempt_passes\": " << preempt.device.passes << ",\n"
+       << "  \"preempt_joined_jobs\": " << preempt.device.joined_jobs << ",\n"
+       << "  \"preempt_preemptions\": " << preempt.device.preemptions << "\n"
        << "}\n";
   json.flush();
   if (!json) {
@@ -349,6 +522,30 @@ int main(int argc, char** argv) {
                 "under cross-model interference\n",
                 static_cast<long long>(probe_p99),
                 static_cast<long long>(p99_bound_us));
+    return 1;
+  }
+  if (!preempt.bit_identical) {
+    std::printf("FAIL: preemptible-PU probe logits diverged from "
+                "per-sample run()\n");
+    return 1;
+  }
+  if (preempt.p99_us > preempt_p99_bound_us) {
+    std::printf("FAIL: preemptible-PU interactive p99 %lld us exceeds the "
+                "analyzer's two-chunk-blocking bound %lld us\n",
+                static_cast<long long>(preempt.p99_us),
+                static_cast<long long>(preempt_p99_bound_us));
+    return 1;
+  }
+  if (preempt.device.chunks <= preempt.device.passes) {
+    std::printf("FAIL: preemptible PU never split a pass into chunks "
+                "(%llu chunks / %llu passes)\n",
+                static_cast<unsigned long long>(preempt.device.chunks),
+                static_cast<unsigned long long>(preempt.device.passes));
+    return 1;
+  }
+  if (preempt.device.joined_jobs == 0) {
+    std::printf("FAIL: no sub-batch ever joined an in-flight pass under "
+                "the preemptible flood\n");
     return 1;
   }
   std::printf("PASS\n");

@@ -18,13 +18,16 @@
 // per-device utilization rows) and the shared PU's cross-model tenant
 // table. The traffic phase runs with request-lifecycle tracing enabled
 // (docs/observability.md): the demo writes the whole run as
-// serving_demo_trace.json — load it at https://ui.perfetto.dev — and
+// bench-out/serving_demo_trace.json — load it at
+// https://ui.perfetto.dev — and
 // finishes with the ensemble's per-layer profile table and the server's
 // Prometheus metrics dump.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <future>
+#include <system_error>
 #include <map>
 #include <string>
 #include <thread>
@@ -220,8 +223,11 @@ int main() {
   //    traffic phase) and stop recording.
   obs::trace().set_enabled(false);
   const obs::TraceRecorder::Stats trace_stats = obs::trace().stats();
-  const char* trace_path = "serving_demo_trace.json";
-  if (obs::trace().write_chrome_json(trace_path)) {
+  // Artifacts land in the gitignored bench-out/, never the repo root.
+  std::error_code trace_dir_ec;
+  std::filesystem::create_directories("bench-out", trace_dir_ec);
+  const char* trace_path = "bench-out/serving_demo_trace.json";
+  if (!trace_dir_ec && obs::trace().write_chrome_json(trace_path)) {
     std::printf("\nwrote %s (%llu events recorded across %zu threads, "
                 "%llu overwritten) — load it at https://ui.perfetto.dev\n",
                 trace_path,

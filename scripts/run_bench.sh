@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Runs the serving benches and assembles BENCH_serve.json in the repo root
-# for the perf trajectory: the git SHA, the serial-vs-batched throughput
+# Runs the serving benches and assembles bench-out/BENCH_serve.json (the
+# gitignored bench-artifact directory — nothing is written to the repo
+# root) for the perf trajectory: the git SHA, the serial-vs-batched throughput
 # numbers (serve_throughput), the multi-model priority/admission ablation
 # numbers (ablation_multimodel), the replica-scaling numbers
 # (ablation_replicas), the heterogeneous-device scaling + routing numbers
@@ -103,7 +104,9 @@ if command -v python3 >/dev/null 2>&1; then
   fi
 fi
 
-mv "$stamp" "$repo_root/BENCH_serve.json"
+out_dir="$repo_root/bench-out"
+mkdir -p "$out_dir"
+mv "$stamp" "$out_dir/BENCH_serve.json"
 
 echo "---"
-cat "$repo_root/BENCH_serve.json"
+cat "$out_dir/BENCH_serve.json"

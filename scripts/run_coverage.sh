@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Line-coverage gate for the concurrency-heavy subsystems: builds an
+# instrumented tree (gcc --coverage, -O0 so branches aren't folded away),
+# runs the full ctest suite, then measures line coverage over src/serve
+# and src/analysis with gcov's JSON output and fails if it drops below
+# the enforced floor. These two subsystems carry the scheduler
+# (preemption, continuous batching, lane policy) and the capacity
+# analyzer's proofs — the code where an untested branch is a data race
+# or an unsound bound, not a cosmetic gap.
+#
+# If lcov/genhtml are installed (the CI coverage job installs them), an
+# HTML report is also rendered into bench-out/coverage-html/ for the
+# artifact upload; locally the gate runs with plain gcov.
+#
+# Usage: scripts/run_coverage.sh [build-dir]   (default: build-cov)
+# MFDFP_COVERAGE_FLOOR overrides the enforced floor (percent).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-cov}"
+# Measured ~93% on the seed of this gate (gcc 12); the floor sits well
+# below that so legitimate hard-to-hit error paths don't flake the job,
+# while a whole untested subsystem (or a suite silently dropping out of
+# the build) still fails loudly.
+floor_pct="${MFDFP_COVERAGE_FLOOR:-80}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="--coverage -O0 -g" \
+  -DCMAKE_EXE_LINKER_FLAGS="--coverage"
+cmake --build "$build_dir" -j "$(nproc)"
+
+# Stale counters from a previous run would inflate the numbers.
+find "$build_dir" -name '*.gcda' -delete
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+
+# Aggregate gcov's JSON over every instrumented object, keeping only
+# sources under src/serve and src/analysis (headers included: the lane
+# and snapshot logic lives in .hpp files too).
+python3 - "$build_dir" "$floor_pct" <<'EOF'
+import json, pathlib, subprocess, sys
+
+build_dir = pathlib.Path(sys.argv[1]).resolve()
+floor = float(sys.argv[2])
+subsystems = ("src/serve/", "src/analysis/")
+
+covered = {}  # (source, line) -> hit?
+gcdas = sorted(build_dir.rglob("*.gcda"))
+if not gcdas:
+    sys.exit("FAIL: no .gcda files under %s — did ctest run?" % build_dir)
+for gcda in gcdas:
+    out = subprocess.run(
+        ["gcov", "--json-format", "--stdout", gcda.name],
+        capture_output=True, text=True, cwd=gcda.parent, check=True).stdout
+    for doc in out.splitlines():
+        if not doc.strip():
+            continue
+        for f in json.loads(doc).get("files", []):
+            name = f["file"]
+            if not any(s in name for s in subsystems):
+                continue
+            short = name[name.index("src/"):]
+            for line in f["lines"]:
+                key = (short, line["line_number"])
+                covered[key] = covered.get(key, False) or line["count"] > 0
+
+if not covered:
+    sys.exit("FAIL: gcov reported no executable lines in src/serve or "
+             "src/analysis — instrumentation is broken")
+
+per_file = {}
+for (source, _), hit in covered.items():
+    total, hits = per_file.get(source, (0, 0))
+    per_file[source] = (total + 1, hits + (1 if hit else 0))
+
+width = max(len(s) for s in per_file)
+for source in sorted(per_file):
+    total, hits = per_file[source]
+    print(f"{source:<{width}}  {hits:5d}/{total:<5d}  {100*hits/total:6.1f}%")
+
+total = len(covered)
+hits = sum(covered.values())
+pct = 100.0 * hits / total
+print(f"{'TOTAL':<{width}}  {hits:5d}/{total:<5d}  {pct:6.1f}%")
+if pct < floor:
+    sys.exit(f"FAIL: line coverage {pct:.1f}% over src/serve + "
+             f"src/analysis is below the {floor:.0f}% floor")
+print(f"OK: line coverage {pct:.1f}% >= {floor:.0f}% floor")
+EOF
+
+# HTML report (CI artifact) when lcov is around; the ignore list keeps
+# lcov's stricter consistency checks from failing on gcc's coverage
+# notes for headers compiled into several objects.
+if command -v lcov >/dev/null 2>&1 && command -v genhtml >/dev/null 2>&1; then
+  html_dir="$repo_root/bench-out/coverage-html"
+  mkdir -p "$html_dir"
+  lcov --capture --directory "$build_dir" --output-file "$build_dir/coverage.info" \
+       --ignore-errors mismatch,negative,unused,empty,inconsistent 2>/dev/null
+  lcov --extract "$build_dir/coverage.info" "*/src/serve/*" "*/src/analysis/*" \
+       --output-file "$build_dir/coverage.filtered.info" \
+       --ignore-errors mismatch,negative,unused,empty,inconsistent 2>/dev/null
+  genhtml "$build_dir/coverage.filtered.info" --output-directory "$html_dir" \
+          --ignore-errors mismatch,negative,unused,empty,inconsistent 2>/dev/null
+  echo "HTML report: $html_dir/index.html"
+fi

@@ -52,24 +52,58 @@ double sub_batch_cost_us(const ReplicaFacts& t) {
                             t.sample_us, extra);
 }
 
+/// Chunked passes on this device? (SharedDevice preemption: chunks only
+/// exist on co-batching shared PUs with a positive granularity. Time-sliced
+/// PUs keep the monolithic bounds — conservative, and one sub-batch is
+/// already the pass there.)
+bool preemptible(const DeviceGroup& d) {
+  const ReplicaFacts& pu = *d.tenants.front().replica;
+  return d.shared && pu.cobatch && pu.preempt_granularity_us > 0.0;
+}
+
+/// Worst case of one monolithic co-batched pass: a maximal pass of the
+/// slowest tenant's samples that pays every tenant's weight reload (the
+/// exact ablation_shared_pu tail shape).
+double pass_blocking_us(const DeviceGroup& d) {
+  const ReplicaFacts& pu = *d.tenants.front().replica;
+  double switch_sum = 0.0;
+  double max_sample = 0.0;
+  for (const TenantShare& t : d.tenants) {
+    switch_sum += t.replica->switch_us;
+    max_sample = std::max(max_sample, t.replica->sample_us);
+  }
+  return committed_delay_us(static_cast<double>(pass_cap(pu)), max_sample,
+                            switch_sum + pu.pass_overhead_us);
+}
+
+/// Worst case of one *chunk* on a preemptible PU: at most the granularity
+/// of compute (SharedDevice never plans below one sample, so the slowest
+/// tenant's sample floors it), plus the one reload a chunk can pay
+/// entering (the largest tenant's — chunks never mix tenants), plus the
+/// pass overhead a first chunk carries.
+double chunk_blocking_us(const DeviceGroup& d) {
+  const ReplicaFacts& pu = *d.tenants.front().replica;
+  double max_switch = 0.0;
+  double max_sample = 0.0;
+  for (const TenantShare& t : d.tenants) {
+    max_switch = std::max(max_switch, t.replica->switch_us);
+    max_sample = std::max(max_sample, t.replica->sample_us);
+  }
+  return std::max(pu.preempt_granularity_us, max_sample) + max_switch +
+         pu.pass_overhead_us;
+}
+
 /// The largest non-preemptible unit the device can be busy with when a
 /// request arrives — the term every latency bound starts from. Co-batching
-/// shared PU: a maximal pass of the slowest tenant's samples that pays
-/// every tenant's weight reload (the exact ablation_shared_pu tail shape).
-/// Time-sliced shared PU: the costliest single sub-batch pass. Dedicated:
-/// one full engine batch.
+/// shared PU: a maximal monolithic pass, or — when the PU is preemptible —
+/// one maximal chunk (min()'d against the pass, so the chunked bound can
+/// only ever tighten). Time-sliced shared PU: the costliest single
+/// sub-batch pass. Dedicated: one full engine batch.
 double blocking_us(const DeviceGroup& d) {
   double worst = 0.0;
   if (d.shared && d.tenants.front().replica->cobatch) {
-    const ReplicaFacts& pu = *d.tenants.front().replica;
-    double switch_sum = 0.0;
-    double max_sample = 0.0;
-    for (const TenantShare& t : d.tenants) {
-      switch_sum += t.replica->switch_us;
-      max_sample = std::max(max_sample, t.replica->sample_us);
-    }
-    return committed_delay_us(static_cast<double>(pass_cap(pu)), max_sample,
-                              switch_sum + pu.pass_overhead_us);
+    const double pass = pass_blocking_us(d);
+    return preemptible(d) ? std::min(pass, chunk_blocking_us(d)) : pass;
   }
   for (const TenantShare& t : d.tenants) {
     worst = std::max(worst, sub_batch_cost_us(*t.replica));
@@ -77,11 +111,14 @@ double blocking_us(const DeviceGroup& d) {
   return worst;
 }
 
-/// Host-side pass-formation latency a request can additionally wait:
-/// the coalesce window applies only to co-batching shared PUs.
+/// Host-side pass-formation latency a request can additionally wait: the
+/// coalesce window applies only to co-batching shared PUs — and never to
+/// probes on a preemptible one, where a pending interactive sub-batch cuts
+/// the window (SharedDevice::wait_for_work_locked) and late work joins
+/// in-flight passes instead of waiting for formation.
 double window_us(const DeviceGroup& d) {
   const ReplicaFacts& r = *d.tenants.front().replica;
-  return d.shared && r.cobatch
+  return d.shared && r.cobatch && !preemptible(d)
              ? static_cast<double>(std::max<std::int64_t>(
                    r.coalesce_window_us, 0))
              : 0.0;
@@ -89,12 +126,19 @@ double window_us(const DeviceGroup& d) {
 
 /// Worst-case cost of getting ONE of `t`'s sub-batches through the device
 /// once it is at the head of its lane. Co-batching: it rides a pass that
-/// may be maximal (neighbours fill it and every reload is paid).
-/// Time-sliced: fairness gives every other tenant one sub-batch pass per
-/// round-robin sweep before `t` rides again. Dedicated: its own batch.
+/// may be maximal (neighbours fill it and every reload is paid);
+/// preemptible: it preempts after at most one more chunk and rides its own
+/// probe pass (its sub-batch cost, reload included). Time-sliced: fairness
+/// gives every other tenant one sub-batch pass per round-robin sweep
+/// before `t` rides again. Dedicated: its own batch.
 double ride_us(const DeviceGroup& d, const ReplicaFacts& t) {
   if (!d.shared) return sub_batch_cost_us(t);
-  if (t.cobatch) return blocking_us(d);
+  if (t.cobatch) {
+    const double pass = pass_blocking_us(d);
+    return preemptible(d)
+               ? std::min(pass, chunk_blocking_us(d) + sub_batch_cost_us(t))
+               : pass;
+  }
   double sweep = 0.0;
   for (const TenantShare& other : d.tenants) {
     sweep += sub_batch_cost_us(*other.replica);
@@ -238,6 +282,25 @@ CapacityReport analyze_capacity(const std::vector<ModelFacts>& models) {
         }
         amortized = total_rate / static_cast<double>(pass_cap(pu)) *
                     (switch_sum + pu.pass_overhead_us);
+        if (pu.preempt_granularity_us > 0.0) {
+          // Preemption reload tax: every probe sub-batch can suspend a
+          // pass, forcing its own reload on entry and the suspended
+          // tenant's again on resume — worst case two reloads per probe
+          // sub-batch beyond the amortized schedule above.
+          double max_switch = 0.0;
+          for (const TenantShare& t : d.tenants) {
+            max_switch = std::max(max_switch, t.replica->switch_us);
+          }
+          for (const TenantShare& t : d.tenants) {
+            const double interactive_rps =
+                t.rate_rps * t.model->envelope.interactive_fraction;
+            if (interactive_rps <= 0.0) continue;
+            amortized +=
+                interactive_rps /
+                static_cast<double>(sub_batch_samples(*t.replica)) *
+                (t.replica->switch_us + max_switch);
+          }
+        }
       } else {
         // Time-sliced: every sub-batch is its own pass; worst case each
         // one reloads (strict round-robin alternates models).
@@ -304,6 +367,9 @@ CapacityReport analyze_capacity(const std::vector<ModelFacts>& models) {
             std::to_string(r.max_wait_us) + "us + " +
             util::fmt_fixed(rides, 0) + " burst sub-batch ride(s) x " +
             util::fmt_fixed(ride, 0) + "us" +
+            (preemptible(d)
+                 ? "; preemptible PU: blocking/ride are one chunk wide"
+                 : "") +
             (!d.stable ? "; device unstable, bound not attainable" : "");
         report.findings.push_back(std::move(f));
       }

@@ -26,6 +26,13 @@
 //                        window, the engine's batch-formation wait, and
 //                        the burst's own sub-batches each riding a
 //                        worst-case pass — vs interactive_deadline_us.
+//                        On a preemptible PU (preempt_granularity_us > 0)
+//                        the non-preemptible unit is one *chunk*, probes
+//                        skip the coalesce window, and each burst ride is
+//                        one chunk plus the probe's own sub-batch — a
+//                        strictly tighter bound (never looser: every
+//                        chunked term is min()'d against its monolithic
+//                        counterpart).
 //   kBatchFeasibility    per model: the *best-case* service floor of one
 //                        kBatch sub-batch across the replicas vs
 //                        batch_deadline_us (a floor above the budget means
@@ -145,6 +152,14 @@ struct ReplicaFacts {
   bool cobatch = true;
   std::int64_t coalesce_window_us = 0;
   double pass_overhead_us = 0.0;
+  /// SharedDeviceConfig::preempt_granularity_us of the PU. > 0 means
+  /// passes are chunked and preemptible: the worst-case blocking a probe
+  /// can see shrinks from one maximal pass to one maximal *chunk* (the
+  /// granularity of compute, never less than one sample, plus the largest
+  /// reload + pass overhead), probes skip the coalesce window, and
+  /// utilization gains a preemption reload tax (suspension + resume can
+  /// each force a reload). 0 keeps the monolithic-pass bounds.
+  double preempt_granularity_us = 0.0;
 };
 
 /// Static facts of one deployed model: its envelope, set-level QoS knobs,

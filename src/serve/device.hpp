@@ -133,6 +133,17 @@ struct BatchResult {
   double sim_dma_bytes = 0.0;  ///< modeled DMA bytes of the batch
 };
 
+/// Scheduling hints the engine passes down with a batch. Hints never change
+/// what the batch computes — logits are bit-identical with any hint values —
+/// only how a backend that multiplexes callers may order it.
+struct ExecHints {
+  /// True when any request in the batch is Priority::kInteractive: a
+  /// preemptible shared PU routes the sub-batch through its interactive
+  /// lane (probes can suspend an in-flight batch pass between chunks and
+  /// jump its coalesce window). Dedicated backends ignore it.
+  bool interactive = false;
+};
+
 /// The engine-side view of one accelerator device (see file comment).
 class ExecutionBackend {
  public:
@@ -144,6 +155,16 @@ class ExecutionBackend {
   /// scratch.
   [[nodiscard]] virtual BatchResult execute(const tensor::Tensor& stacked,
                                             hw::ExecScratch& scratch) const = 0;
+
+  /// Hinted overload: same contract as execute() above, plus scheduling
+  /// hints (see ExecHints). The engine always calls this form; the default
+  /// drops the hints and forwards, so backends that don't multiplex callers
+  /// implement only the 2-argument overload.
+  [[nodiscard]] virtual BatchResult execute(const tensor::Tensor& stacked,
+                                            hw::ExecScratch& scratch,
+                                            const ExecHints& /*hints*/) const {
+    return execute(stacked, scratch);
+  }
 
   /// The device this backend executes on.
   [[nodiscard]] virtual const DeviceSpec& device() const noexcept = 0;

@@ -271,8 +271,17 @@ void InferenceEngine::execute_batch(std::vector<Request>& batch,
   }
 
   // The backend owns execution and costing: logits plus the device-scaled
-  // modeled latency / DMA of this batch.
-  BatchResult result = backend_->execute(stacked, scratch);
+  // modeled latency / DMA of this batch. The hint tells a multiplexing
+  // backend whether any rider is interactive (probes preempt / skip
+  // coalescing on a preemptible shared PU); it never changes the logits.
+  ExecHints hints;
+  for (const Request& request : batch) {
+    if (request.priority == Priority::kInteractive) {
+      hints.interactive = true;
+      break;
+    }
+  }
+  BatchResult result = backend_->execute(stacked, scratch, hints);
   const Tensor& logits = result.logits;
   const double sim_us = result.sim_accel_us;
   const double sim_dma = result.sim_dma_bytes;

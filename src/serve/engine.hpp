@@ -293,6 +293,10 @@ class InferenceEngine {
   void init_trace_identity();
 
   void worker_main(std::size_t worker_index);
+  /// Stacks the batch, executes it through the backend (passing ExecHints —
+  /// interactive when any rider is kInteractive, so preemptible shared PUs
+  /// can prioritize probe sub-batches), paces if the backend doesn't, and
+  /// completes every rider.
   void execute_batch(std::vector<Request>& batch, hw::ExecScratch& scratch);
 
   DeployConfig config_;

@@ -261,6 +261,7 @@ analysis::ModelFacts ReplicaSet::capacity_facts() const {
       r.cobatch = pu.cobatch;
       r.coalesce_window_us = pu.coalesce_window_us;
       r.pass_overhead_us = pu.pass_overhead_us;
+      r.preempt_granularity_us = pu.preempt_granularity_us;
       if (const auto* backend = dynamic_cast<const SharedDeviceBackend*>(
               &engine.backend())) {
         r.switch_us = backend->switch_us();

@@ -197,6 +197,70 @@ TEST(Capacity, SharedPuBoundMatchesTheAblationShape) {
   EXPECT_DOUBLE_EQ(util->worst_case_us, 18500.0);
 }
 
+// The identical PR-9 placement with preemption enabled
+// (preempt_granularity_us = 2000) proves a strictly smaller bound: blocking
+// shrinks from one maximal pass (14800us) to one maximal chunk
+// (max(2000, 400) + 1000 reload = 3000us), probes skip the 500us coalesce
+// window, and each of the ceil(16/4) = 4 burst rides is one chunk plus the
+// probe's own sub-batch (3000 + 4 x 400 + 1000 = 5600us) instead of a full
+// pass. Worst case = 3000 + 0 + 200 + 4 x 5600 = 25600us — down from
+// 74700us on the monolithic device, exact to the microsecond.
+TEST(Capacity, PreemptiblePuTightensTheSharedBound) {
+  ModelFacts a;
+  a.model = "a";
+  a.envelope.arrival_rps = 40.0;
+  a.envelope.interactive_fraction = 1.0;
+  a.envelope.interactive_burst = 16;
+  a.envelope.interactive_deadline_us = 25600.0;
+  a.replicas.push_back(shared_tenant());
+  a.replicas.back().preempt_granularity_us = 2000.0;
+
+  ModelFacts b;  // deadline-less flood tenant: blocking only, no proofs
+  b.model = "b";
+  b.replicas.push_back(shared_tenant());
+  b.replicas.back().preempt_granularity_us = 2000.0;
+
+  const analysis::CapacityReport report = analysis::analyze_capacity({a, b});
+  ASSERT_TRUE(report.feasible()) << report.table("preemptible");
+
+  const Finding* latency =
+      find_proof(report, ProofKind::kInteractiveLatency, "a");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_DOUBLE_EQ(latency->worst_case_us, 25600.0);
+  EXPECT_EQ(latency->verdict, Verdict::kProven);
+
+  // Strictly tighter than the monolithic 74700us bound of the same shape —
+  // and a deadline the monolithic device can never prove is now provable.
+  EXPECT_LT(latency->worst_case_us, 74700.0);
+
+  // One microsecond past: violated (the chunked bound is exact, not loose).
+  a.envelope.interactive_deadline_us = 25599.0;
+  EXPECT_FALSE(analysis::analyze_capacity({a, b}).feasible());
+
+  // Utilization gains the preemption reload tax: 40 rps x 400us compute
+  // + (40/32) passes/s x 2000us amortized reloads + (40/4) probe
+  // sub-batches/s x (own reload 1000 + resume reload 1000)
+  // = 16000 + 2500 + 20000 = 38500 busy us per wall second.
+  const Finding* util = find_proof(report, ProofKind::kUtilization);
+  ASSERT_NE(util, nullptr);
+  EXPECT_DOUBLE_EQ(util->worst_case_us, 38500.0);
+
+  // A huge granularity degrades gracefully: every chunked term is min()'d
+  // against its monolithic counterpart, so the bound can never exceed the
+  // non-preemptible one.
+  a.envelope.interactive_deadline_us = 74700.0;
+  a.replicas.back().preempt_granularity_us = 1e9;
+  b.replicas.back().preempt_granularity_us = 1e9;
+  const analysis::CapacityReport coarse = analysis::analyze_capacity({a, b});
+  const Finding* coarse_latency =
+      find_proof(coarse, ProofKind::kInteractiveLatency, "a");
+  ASSERT_NE(coarse_latency, nullptr);
+  // Window still drops (probes cut it regardless of granularity):
+  // 14800 + 0 + 200 + 4 x 14800 = 74200us <= the monolithic 74700us.
+  EXPECT_DOUBLE_EQ(coarse_latency->worst_case_us, 74200.0);
+  EXPECT_LE(coarse_latency->worst_case_us, 74700.0);
+}
+
 // Time-sliced baseline (cobatch off): blocking is one sub-batch pass
 // (4 x 400 + 1000 = 2600us), no coalesce window, and a ride waits a full
 // round-robin sweep over both tenants (2 x 2600 = 5200us).
@@ -450,6 +514,7 @@ TEST(Capacity, ReplicaSetFactsMatchTheLiveDeployment) {
   pu_config.max_pass_samples = 32;
   pu_config.coalesce_window_us = 500;
   pu_config.model_switch_us = 1000.0;
+  pu_config.preempt_granularity_us = 2000.0;
   pu_config.paced = false;  // logits-only here; no wall pacing needed
   DeviceSpec pu_spec;
   pu_spec.name = "pu0";
@@ -486,6 +551,7 @@ TEST(Capacity, ReplicaSetFactsMatchTheLiveDeployment) {
     EXPECT_DOUBLE_EQ(r.switch_us, 1000.0);
     EXPECT_EQ(r.max_pass_samples, 32u);
     EXPECT_EQ(r.coalesce_window_us, 500);
+    EXPECT_DOUBLE_EQ(r.preempt_granularity_us, 2000.0);
     EXPECT_EQ(r.max_batch, 4u);
     EXPECT_EQ(r.max_wait_us, 200);
   }

@@ -27,7 +27,8 @@
 //                                    speed_factor, sample_us, max_batch,
 //                                    max_wait_us, queue_capacity, switch_us,
 //                                    max_pass_samples, cobatch,
-//                                    coalesce_window_us, pass_overhead_us
+//                                    coalesce_window_us, pass_overhead_us,
+//                                    preempt_granularity_us
 //
 // Replicas naming the same `device` with shared=1 are tenants of one PU
 // (the analyzer prices their mutual blocking); dedicated replicas get
@@ -96,6 +97,8 @@ void apply_replica_key(ReplicaFacts& replica, const std::string& key,
         static_cast<std::int64_t>(to_double(value, context));
   } else if (key == "pass_overhead_us") {
     replica.pass_overhead_us = to_double(value, context);
+  } else if (key == "preempt_granularity_us") {
+    replica.preempt_granularity_us = to_double(value, context);
   } else {
     throw ParseError{"unknown replica key '" + key + "' in " + context};
   }
